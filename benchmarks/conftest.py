@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``test_<artifact>`` benchmark regenerates one table or figure of the
+paper at full (paper) scale, prints the reproduced artifact, and asserts
+the paper's qualitative claims (the experiment's ``checks``).  Timings
+reported by pytest-benchmark are the wall cost of the simulation itself.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def reproduce(benchmark, exp_id: str, quick: bool = False):
+    """Run one registered experiment under the benchmark harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, quick=quick),
+        rounds=1, iterations=1)
+    print()
+    print(result.to_text())
+    benchmark.extra_info["experiment"] = exp_id
+    benchmark.extra_info["checks"] = {k: bool(v)
+                                      for k, v in result.checks.items()}
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{exp_id}: failed checks {failed}"
+    return result

@@ -1,0 +1,35 @@
+"""Ablation: BTIO's three I/O strategies (independent / collective / epio).
+
+The NAS spec's embarrassingly-parallel variant (one private file per rank,
+one append per dump) bounds what any shared-file strategy can reach: no
+token, no exchange, perfectly sequential streams.  Collective I/O should
+land between epio and the independent version — paying only its exchange.
+"""
+
+from repro.apps.btio import BTIOConfig, run_btio
+from repro.machine import sp2
+
+
+def _sweep():
+    out = {}
+    for version in ("unoptimized", "collective", "epio"):
+        cfg = BTIOConfig(class_name="A", version=version, measured_dumps=2)
+        res = run_btio(sp2(36), cfg, 36)
+        out[version] = (res.exec_time, res.io_time,
+                        res.bandwidth_mb_s(cfg.total_io_bytes))
+    return out
+
+
+def test_ablation_btio_epio(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("BTIO Class A, P=36, all three I/O strategies:")
+    for version, (exec_t, io_t, bw) in results.items():
+        print(f"  {version:>12}: exec={exec_t:7.1f}s io={io_t:6.1f}s "
+              f"bw={bw:6.1f} MB/s")
+    # Ordering: epio <= collective << unoptimized on I/O time.
+    assert results["epio"][1] <= results["collective"][1] * 1.2
+    assert results["collective"][1] < 0.2 * results["unoptimized"][1]
+    # The exchange is the collective's only real surcharge over epio.
+    surcharge = results["collective"][1] - results["epio"][1]
+    print(f"  collective's exchange surcharge over epio: {surcharge:.1f}s")

@@ -1,0 +1,51 @@
+"""Ablation: disk-parameter sensitivity of the FFT layout optimization.
+
+The layout optimization converts seek-bound strided access into
+bandwidth-bound sequential access, so its payoff should track the disk's
+seek/bandwidth ratio: near-zero-seek disks (RAM-disk-like) erase the
+benefit; slow-seek disks amplify it.
+"""
+
+from dataclasses import replace
+
+from repro.apps.fft2d import FFTConfig, run_fft
+from repro.machine import paragon_small
+from repro.machine.params import DiskParams, MB
+
+
+def _gain_with_disk(disk: DiskParams) -> float:
+    base = paragon_small(n_compute=8, n_io=2)
+    machine = base.with_(ionode=replace(base.ionode, disk=disk))
+    cfg = dict(n=2048, panel_memory_bytes=1024 * 1024)
+    t_u = run_fft(machine, FFTConfig(version="unoptimized", **cfg), 8)
+    t_l = run_fft(machine, FFTConfig(version="layout", **cfg), 8)
+    return t_u.io_time / t_l.io_time
+
+
+def _sweep():
+    fast_seek = DiskParams(avg_seek_s=0.001, track_seek_s=0.0002,
+                           rotational_latency_s=0.0005,
+                           transfer_rate=2.4 * MB)
+    default = DiskParams(avg_seek_s=0.018, track_seek_s=0.002,
+                         rotational_latency_s=0.0045,
+                         transfer_rate=2.4 * MB,
+                         controller_overhead_s=0.001)
+    slow_seek = DiskParams(avg_seek_s=0.040, track_seek_s=0.004,
+                           rotational_latency_s=0.008,
+                           transfer_rate=2.4 * MB,
+                           controller_overhead_s=0.001)
+    return {
+        "fast-seek": _gain_with_disk(fast_seek),
+        "default (calibrated)": _gain_with_disk(default),
+        "slow-seek": _gain_with_disk(slow_seek),
+    }
+
+
+def test_ablation_disk_seek_sensitivity(benchmark):
+    gains = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("FFT layout-optimization I/O-time gain vs disk seek cost:")
+    for label, gain in gains.items():
+        print(f"  {label:>22}: {gain:.2f}x")
+    assert gains["slow-seek"] > gains["fast-seek"]
+    assert gains["default (calibrated)"] > 1.2

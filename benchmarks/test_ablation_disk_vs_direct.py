@@ -1,0 +1,42 @@
+"""Ablation: disk-based vs direct (recompute) SCF across processor counts.
+
+The paper's §5 anecdote: real SCF 1.1 users ran the disk-based version at
+small processor counts but switched to the recompute ("direct") version at
+large ones, because the I/O version "performs very poorly" there.  This
+bench locates that crossover on the simulated Paragon.
+"""
+
+from repro.analysis import crossover
+from repro.apps.scf11 import SCF11Config, run_scf11
+from repro.machine import paragon_large
+
+
+def _sweep():
+    procs = [4, 16, 64, 256]
+    out = {}
+    for version in ("prefetch", "direct"):
+        pts = []
+        for p in procs:
+            cfg = SCF11Config(n_basis=285, version=version,
+                              measured_read_iters=1)
+            res = run_scf11(paragon_large(n_compute=max(p, 4), n_io=16),
+                            cfg, p)
+            pts.append((p, res.exec_time))
+        out[version] = pts
+    return out
+
+
+def test_ablation_disk_vs_direct(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("SCF 1.1 LARGE: disk-based (optimized) vs direct recompute:")
+    for version, pts in results.items():
+        row = "  ".join(f"P={p:3.0f}: {t:9,.0f}s" for p, t in pts)
+        print(f"  {version:>9}: {row}")
+    cross = crossover(results["prefetch"], results["direct"])
+    print(f"  direct overtakes the disk-based version at P={cross}")
+    # Disk wins at small P (re-reading beats re-evaluating)...
+    assert results["prefetch"][0][1] < results["direct"][0][1]
+    # ...direct wins at 256 (I/O nodes saturate; compute keeps scaling).
+    assert results["direct"][-1][1] < results["prefetch"][-1][1]
+    assert cross is not None and 16 <= cross <= 256

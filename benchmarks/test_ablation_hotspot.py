@@ -1,0 +1,44 @@
+"""Ablation: a degraded ("hotspot") I/O node.
+
+Striped file systems are only as fast as their slowest server: every large
+request fans out over all I/O nodes and completes when the last extent
+does.  This bench slows one of the Paragon's I/O nodes down and measures
+how much of the degradation the application sees — a failure-injection
+view the paper's balanced-architecture argument implies but never shows.
+"""
+
+from dataclasses import replace
+
+from repro.apps.fft2d import FFTConfig, run_fft
+from repro.machine import paragon_small
+
+
+def _run_with_slowdown(factor: float) -> float:
+    cfg = paragon_small(n_compute=8, n_io=4)
+    if factor != 1.0:
+        slow_disk = replace(cfg.ionode.disk,
+                            transfer_rate=cfg.ionode.disk.transfer_rate
+                            / factor,
+                            avg_seek_s=cfg.ionode.disk.avg_seek_s * factor)
+        cfg = cfg.with_(ionode_overrides={
+            0: replace(cfg.ionode, disk=slow_disk)})
+    fft_cfg = FFTConfig(n=1024, version="layout",
+                        panel_memory_bytes=512 * 1024)
+    return run_fft(cfg, fft_cfg, 8).exec_time
+
+
+def _sweep():
+    return {f"{factor}x slower node": _run_with_slowdown(factor)
+            for factor in (1.0, 2.0, 4.0)}
+
+
+def test_ablation_hotspot_io_node(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print("FFT (layout, 8 procs, 4 I/O nodes) with one degraded I/O node:")
+    base = results["1.0x slower node"]
+    for label, t in results.items():
+        print(f"  {label:>18}: exec={t:7.1f}s  ({t / base:.2f}x baseline)")
+    # One slow node out of four drags the whole striped system with it.
+    assert results["4.0x slower node"] > 1.5 * base
+    assert results["2.0x slower node"] > 1.1 * base

@@ -1,0 +1,10 @@
+"""Figure 1: SCF 1.1 optimization tuples I-VII across input sizes.
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig1(benchmark):
+    reproduce(benchmark, "fig1")

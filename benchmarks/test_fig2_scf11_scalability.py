@@ -1,0 +1,10 @@
+"""Figure 2: SCF 1.1 software optimization vs I/O-resource crossover.
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig2(benchmark):
+    reproduce(benchmark, "fig2")

@@ -1,0 +1,10 @@
+"""Figure 3: SCF 1.1 effect of the I/O-node count.
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig3(benchmark):
+    reproduce(benchmark, "fig3")

@@ -1,0 +1,10 @@
+"""Figure 4: SCF 3.0 balanced I/O (cached-integral sweep).
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig4(benchmark):
+    reproduce(benchmark, "fig4")

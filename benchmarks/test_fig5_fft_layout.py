@@ -1,0 +1,10 @@
+"""Figure 5: FFT file-layout optimization.
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig5(benchmark):
+    reproduce(benchmark, "fig5")

@@ -1,0 +1,10 @@
+"""Figure 6: BTIO two-phase collective I/O.
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig6(benchmark):
+    reproduce(benchmark, "fig6")

@@ -1,0 +1,10 @@
+"""Figure 7: BTIO I/O bandwidths.
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_fig7(benchmark):
+    reproduce(benchmark, "fig7")

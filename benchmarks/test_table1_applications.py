@@ -1,0 +1,10 @@
+"""Table 1: application suite characteristics.
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_table1(benchmark):
+    reproduce(benchmark, "table1")

@@ -1,0 +1,10 @@
+"""Table 2: SCF 1.1 original-version I/O summary (LARGE, 4 procs).
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_table2(benchmark):
+    reproduce(benchmark, "table2")

@@ -1,0 +1,10 @@
+"""Table 3: SCF 1.1 PASSION-version I/O summary (LARGE, 4 procs).
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_table3(benchmark):
+    reproduce(benchmark, "table3")

@@ -1,0 +1,10 @@
+"""Table 4: AST execution times, Chameleon vs two-phase I/O.
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_table4(benchmark):
+    reproduce(benchmark, "table4")

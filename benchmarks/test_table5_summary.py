@@ -1,0 +1,10 @@
+"""Table 5: effective optimization techniques, derived from measurement.
+
+Regenerates the paper artifact at full scale and asserts its shape claims.
+"""
+
+from benchmarks.conftest import reproduce
+
+
+def test_table5(benchmark):
+    reproduce(benchmark, "table5")

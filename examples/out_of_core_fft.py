@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Out-of-core FFT: verify numerics, then measure the layout optimization.
+
+Part 1 pushes real complex data through the simulated parallel file system
+and checks the out-of-core pipeline against ``numpy.fft.fft2`` exactly.
+
+Part 2 runs the paper's Figure-5 comparison at a reduced scale: the
+unoptimized (both arrays column-major) transpose against the layout-
+optimized one (second array row-major), on 2 and 4 I/O nodes.
+
+Run:  python examples/out_of_core_fft.py
+"""
+
+import numpy as np
+
+from repro.apps.fft2d import FFTConfig, read_result, run_fft
+from repro.machine import paragon_small
+
+KB = 1024
+
+
+def verify_numerics():
+    print("Part 1: functional verification against numpy")
+    print("-" * 56)
+    rng = np.random.default_rng(2026)
+    n = 64
+    x = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    cfg = FFTConfig(n=n, version="unoptimized",
+                    panel_memory_bytes=n * 16 * 8, functional=True)
+    res = run_fft(paragon_small(4, 2), cfg, 4, initial=x)
+    out = read_result(res, cfg)
+    err = np.abs(out - np.fft.fft2(x).T).max()
+    print(f"  {n}x{n} complex FFT through simulated disk files")
+    print(f"  max |error| vs numpy.fft.fft2: {err:.2e}")
+    assert err < 1e-10
+    print("  exact match — every byte went through the striped files\n")
+
+
+def measure_layouts():
+    print("Part 2: the file-layout optimization (paper Figure 5)")
+    print("-" * 56)
+    n = 2048
+    mem = 1024 * KB
+    print(f"  array {n}x{n} complex ({n * n * 16 / 2**20:.0f} MiB each), "
+          f"{mem // KB} KB panels, 8 compute nodes\n")
+    rows = []
+    for label, version, n_io in [
+            ("unoptimized, 2 I/O nodes", "unoptimized", 2),
+            ("unoptimized, 4 I/O nodes", "unoptimized", 4),
+            ("layout-opt,  2 I/O nodes", "layout", 2)]:
+        cfg = FFTConfig(n=n, version=version, panel_memory_bytes=mem)
+        res = run_fft(paragon_small(8, n_io), cfg, 8)
+        rows.append((label, res))
+        print(f"  {label}: I/O {res.io_time:7.1f} s   "
+              f"total {res.exec_time:7.1f} s   "
+              f"(I/O = {res.io_time / res.exec_time:.0%} of total)")
+    unopt4 = rows[1][1]
+    layout2 = rows[2][1]
+    print(f"\n  Storing ONE array row-major on HALF the I/O nodes beats")
+    print(f"  doubling the hardware: {layout2.io_time:.0f} s vs "
+          f"{unopt4.io_time:.0f} s "
+          f"({unopt4.io_time / layout2.io_time:.1f}x).")
+
+
+if __name__ == "__main__":
+    verify_numerics()
+    measure_layouts()

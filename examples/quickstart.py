@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate parallel I/O on a 1990s supercomputer.
+
+Builds a small Intel Paragon, runs four simulated processes that write and
+read a striped file through the PFS, and prints what it cost — then shows
+the single most important effect in the paper: the same bytes moved as many
+small requests vs one large request.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.machine import Machine, paragon_small
+from repro.mp import Communicator
+from repro.iolib import PassionIO
+from repro.pfs import PFS
+from repro.trace import IOOp, TraceCollector, summarize
+
+KB = 1024
+MB = 1024 * KB
+
+
+def rank_program(rank, comm, interface, chunk_bytes, total_bytes, results):
+    """Each rank writes its region, then reads it back in chunks."""
+    env = comm.env
+    f = yield from interface.open(rank, "quickstart.dat", create=True)
+    base = rank * total_bytes
+
+    t0 = env.now
+    pos = 0
+    while pos < total_bytes:
+        n = min(chunk_bytes, total_bytes - pos)
+        yield from f.pwrite(base + pos, n)
+        pos += n
+    write_time = env.now - t0
+
+    yield from comm.barrier(rank)
+
+    t0 = env.now
+    pos = 0
+    while pos < total_bytes:
+        n = min(chunk_bytes, total_bytes - pos)
+        yield from f.pread(base + pos, n)
+        pos += n
+    read_time = env.now - t0
+
+    yield from f.close()
+    results[rank] = (write_time, read_time)
+
+
+def run(chunk_bytes):
+    machine = Machine(paragon_small(n_compute=4, n_io=2))
+    fs = PFS(machine)
+    trace = TraceCollector()
+    interface = PassionIO(fs, trace=trace)
+    comm = Communicator(machine, 4)
+    results = {}
+    procs = comm.spawn(rank_program, interface, chunk_bytes, 4 * MB, results)
+    machine.env.run(machine.env.all_of(procs))
+    return machine, trace, results
+
+
+def main():
+    print("Paragon, 4 compute nodes, 2 I/O nodes, 4 MB per process")
+    print("=" * 64)
+    for chunk in (4 * KB, 64 * KB, 1 * MB):
+        machine, trace, results = run(chunk)
+        reads = trace.aggregate(IOOp.READ)
+        writes = trace.aggregate(IOOp.WRITE)
+        wall = machine.now
+        print(f"\nchunk size {chunk // KB:>5} KB: "
+              f"{writes.count + reads.count:6d} requests, "
+              f"simulated wall time {wall:7.2f} s")
+        summary = summarize(trace, exec_time=wall * 4)
+        print(summary.to_text("  per-operation breakdown"))
+    print("\nSame data, three orders of magnitude apart in request count —")
+    print("that gap is what the paper's optimizations exist to close.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy shim so editable installs work without network access.
+
+Modern environments should use ``pip install -e .`` (PEP 660); sandboxes
+lacking the ``wheel`` package can fall back to ``python setup.py develop``,
+which reads this file.  The entry point is duplicated here because the
+legacy path predates ``[project.scripts]``.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    },
+)

@@ -1,0 +1,33 @@
+"""Optimization advisors: compiler-style layout selection and the paper's
+optimization-sequence prescription."""
+
+from repro.advisor.access import AffineExpr, ArrayRef, Loop, LoopNest
+from repro.advisor.layout import (
+    LayoutCost,
+    LayoutPlan,
+    RefCost,
+    analyze_ref,
+    choose_layouts,
+)
+from repro.advisor.planner import (
+    OptimizationPlanner,
+    Recommendation,
+    TECHNIQUES,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "AffineExpr",
+    "ArrayRef",
+    "Loop",
+    "LoopNest",
+    "LayoutCost",
+    "LayoutPlan",
+    "RefCost",
+    "analyze_ref",
+    "choose_layouts",
+    "OptimizationPlanner",
+    "Recommendation",
+    "TECHNIQUES",
+    "WorkloadProfile",
+]

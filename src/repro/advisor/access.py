@@ -1,0 +1,121 @@
+"""Access-pattern IR: loop nests over disk-resident arrays.
+
+The paper (§4.4) notes that file-layout choices "can sometimes be detected
+by parallelizing compilers by using suitable linear algebraic techniques"
+(Kandemir, Ramanujam, Choudhary, ICPP'97).  This module provides the small
+program representation such an analysis needs: affine array references
+inside rectangular loop nests.
+
+An index expression is affine over the loop variables:
+``AffineExpr({"i": 1}, const=0)`` is ``i``; ``AffineExpr({"i": 2, "j": 1},
+const=3)`` is ``2i + j + 3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["AffineExpr", "Loop", "ArrayRef", "LoopNest"]
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """Affine function of loop variables: sum(coeff[v] * v) + const."""
+
+    coeffs: Mapping[str, int]
+    const: int = 0
+
+    def __post_init__(self):
+        # Normalize away zero coefficients for clean equality/printing.
+        object.__setattr__(self, "coeffs",
+                           {v: c for v, c in dict(self.coeffs).items()
+                            if c != 0})
+
+    @classmethod
+    def var(cls, name: str) -> "AffineExpr":
+        return cls({name: 1})
+
+    @classmethod
+    def const_(cls, value: int) -> "AffineExpr":
+        return cls({}, value)
+
+    def coeff(self, var: str) -> int:
+        return self.coeffs.get(var, 0)
+
+    def depends_on(self, var: str) -> bool:
+        return self.coeff(var) != 0
+
+    @property
+    def variables(self) -> List[str]:
+        return sorted(self.coeffs)
+
+    def __str__(self) -> str:
+        terms = [f"{'' if c == 1 else c}{v}"
+                 for v, c in sorted(self.coeffs.items())]
+        if self.const or not terms:
+            terms.append(str(self.const))
+        return " + ".join(terms)
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One loop level: ``for var in [lo, hi)`` with unit stride."""
+
+    var: str
+    trip_count: int
+
+    def __post_init__(self):
+        if self.trip_count <= 0:
+            raise ValueError("trip_count must be positive")
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A 2-D disk-resident array reference ``array[row_expr, col_expr]``."""
+
+    array: str
+    row: AffineExpr
+    col: AffineExpr
+    is_write: bool = False
+
+    def index_exprs(self) -> Tuple[AffineExpr, AffineExpr]:
+        return self.row, self.col
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A rectangular loop nest with array references in its body.
+
+    Loops are ordered outermost first; ``loops[-1]`` is the innermost
+    (fastest-varying) loop — the one whose direction decides contiguity.
+    """
+
+    loops: Sequence[Loop]
+    refs: Sequence[ArrayRef]
+    #: Relative execution weight (e.g. iteration count of an outer driver).
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if not self.loops:
+            raise ValueError("a loop nest needs at least one loop")
+        names = [l.var for l in self.loops]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate loop variables")
+
+    @property
+    def innermost(self) -> Loop:
+        return self.loops[-1]
+
+    @property
+    def total_iterations(self) -> int:
+        total = 1
+        for loop in self.loops:
+            total *= loop.trip_count
+        return total
+
+    def refs_to(self, array: str) -> List[ArrayRef]:
+        return [r for r in self.refs if r.array == array]
+
+    def arrays(self) -> List[str]:
+        return sorted({r.array for r in self.refs})

@@ -1,0 +1,29 @@
+"""Analysis helpers: scaling curves, crossovers, analytic I/O models."""
+
+from repro.analysis.scaling import (
+    ScalingFit,
+    amdahl_fit,
+    crossover,
+    parallel_efficiency,
+    scaled_saturation_point,
+    speedup_curve,
+)
+from repro.analysis.iomodel import (
+    collective_benefit_bound,
+    request_cost,
+    stream_bandwidth,
+    strided_penalty,
+)
+
+__all__ = [
+    "ScalingFit",
+    "amdahl_fit",
+    "crossover",
+    "parallel_efficiency",
+    "scaled_saturation_point",
+    "speedup_curve",
+    "collective_benefit_bound",
+    "request_cost",
+    "stream_bandwidth",
+    "strided_penalty",
+]

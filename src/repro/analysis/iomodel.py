@@ -1,0 +1,71 @@
+"""Closed-form I/O cost estimates for sanity-checking simulations.
+
+These analytic models predict what the simulator *should* produce in
+uncontended corner cases; tests compare the two to catch drift between the
+event-level machinery and the intended physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.machine.params import CPUParams, DiskParams, IONodeParams, \
+    NetworkParams
+
+__all__ = ["request_cost", "stream_bandwidth", "strided_penalty",
+           "collective_benefit_bound"]
+
+
+def request_cost(disk: DiskParams, nbytes: int, sequential: bool = False,
+                 overhead_s: float = 0.0) -> float:
+    """Uncontended service time of one disk request."""
+    t = disk.controller_overhead_s + overhead_s
+    if not sequential:
+        t += disk.avg_seek_s + disk.rotational_latency_s
+    return t + nbytes / disk.transfer_rate
+
+
+def stream_bandwidth(disk: DiskParams, request_bytes: int,
+                     sequential: bool = True) -> float:
+    """Sustained bytes/second of a request stream of fixed size."""
+    if request_bytes <= 0:
+        raise ValueError("request_bytes must be positive")
+    t = request_cost(disk, request_bytes, sequential=sequential)
+    return request_bytes / t
+
+
+def strided_penalty(disk: DiskParams, piece_bytes: int,
+                    contiguous_bytes: int) -> float:
+    """Time ratio of moving ``contiguous_bytes`` as seek-bound pieces vs
+    one sequential access — the upper bound a layout/collective
+    optimization can reach on this disk."""
+    if piece_bytes <= 0 or contiguous_bytes < piece_bytes:
+        raise ValueError("invalid sizes")
+    n_pieces = contiguous_bytes // piece_bytes
+    strided = n_pieces * request_cost(disk, piece_bytes, sequential=False)
+    seq = request_cost(disk, contiguous_bytes, sequential=False)
+    return strided / seq
+
+
+def collective_benefit_bound(disk: DiskParams, net: NetworkParams,
+                             piece_bytes: int, total_bytes: int,
+                             n_ranks: int,
+                             per_call_s: float = 0.0) -> float:
+    """Upper-bound speedup of two-phase I/O over independent small writes.
+
+    Independent: every piece pays the per-call software cost plus a
+    seek-bound disk access.  Collective: the payload crosses the network
+    once more, then lands in ``n_ranks`` large sequential accesses.
+    """
+    if n_ranks <= 0:
+        raise ValueError("n_ranks must be positive")
+    n_pieces = max(1, total_bytes // piece_bytes)
+    independent = n_pieces * (per_call_s
+                              + request_cost(disk, piece_bytes))
+    exchange = total_bytes / net.link_bandwidth + n_ranks * (
+        net.latency_s + net.msg_overhead_s)
+    domain = total_bytes // n_ranks
+    collective = exchange + n_ranks * per_call_s + n_ranks * request_cost(
+        disk, domain)
+    return independent / collective

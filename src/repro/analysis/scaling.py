@@ -1,0 +1,117 @@
+"""Scaling analysis: speedups, efficiencies, crossovers, balance points.
+
+The helpers here operate on plain (x, y) point lists — typically processor
+counts against times — so they compose with
+:class:`repro.experiments.Series` as well as raw measurement dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["speedup_curve", "parallel_efficiency", "crossover",
+           "scaled_saturation_point", "amdahl_fit", "ScalingFit"]
+
+Points = Sequence[Tuple[float, float]]
+
+
+def _as_sorted(points: Points) -> List[Tuple[float, float]]:
+    pts = sorted((float(x), float(y)) for x, y in points)
+    if not pts:
+        raise ValueError("empty point list")
+    return pts
+
+
+def speedup_curve(points: Points) -> List[Tuple[float, float]]:
+    """Speedup relative to the smallest-x point: S(p) = t(p0)·p0? No —
+    plain time ratio S(p) = t(p0)/t(p), the convention the paper plots."""
+    pts = _as_sorted(points)
+    t0 = pts[0][1]
+    if t0 <= 0:
+        raise ValueError("baseline time must be positive")
+    return [(x, t0 / y if y > 0 else float("inf")) for x, y in pts]
+
+
+def parallel_efficiency(points: Points) -> List[Tuple[float, float]]:
+    """Efficiency E(p) = S(p) · p0 / p (1.0 = perfect scaling)."""
+    pts = _as_sorted(points)
+    p0 = pts[0][0]
+    if p0 <= 0:
+        raise ValueError("processor counts must be positive")
+    return [(x, s * p0 / x) for (x, s) in speedup_curve(pts)]
+
+
+def crossover(a: Points, b: Points) -> Optional[float]:
+    """Smallest common x where curve ``b`` drops below curve ``a``.
+
+    Returns None if ``b`` never wins on the shared x grid.  This is the
+    paper's Figure-2 question with a = optimized/few-I/O-nodes and
+    b = unoptimized/many-I/O-nodes.
+    """
+    ya = dict(_as_sorted(a))
+    yb = dict(_as_sorted(b))
+    shared = sorted(set(ya) & set(yb))
+    if not shared:
+        raise ValueError("curves share no x values")
+    for x in shared:
+        if yb[x] < ya[x]:
+            return x
+    return None
+
+
+def scaled_saturation_point(points: Points, tolerance: float = 0.10
+                            ) -> Optional[float]:
+    """First x past which adding resources stops helping.
+
+    Returns the smallest x whose successor improves the time by less than
+    ``tolerance`` (fractionally), or None if improvement continues through
+    the last point.
+    """
+    pts = _as_sorted(points)
+    for (x0, y0), (_x1, y1) in zip(pts, pts[1:]):
+        if y0 <= 0:
+            continue
+        if (y0 - y1) / y0 < tolerance:
+            return x0
+    return None
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Amdahl-style decomposition t(p) = serial + parallel/p."""
+
+    serial: float
+    parallel: float
+
+    def predict(self, p: float) -> float:
+        return self.serial + self.parallel / p
+
+    @property
+    def serial_fraction(self) -> float:
+        total = self.serial + self.parallel
+        return self.serial / total if total > 0 else 0.0
+
+
+def amdahl_fit(points: Points) -> ScalingFit:
+    """Least-squares fit of t(p) = a + b/p over the measured points.
+
+    A large ``serial`` term against processor counts is exactly the
+    paper's signature of an I/O bottleneck: the non-scaling part of the
+    execution time is what the shared I/O nodes serialize.
+    """
+    pts = _as_sorted(points)
+    if len(pts) < 2:
+        raise ValueError("need at least two points to fit")
+    # Linear regression of y on z = 1/p.
+    zs = [1.0 / x for x, _ in pts]
+    ys = [y for _, y in pts]
+    n = len(pts)
+    zbar = sum(zs) / n
+    ybar = sum(ys) / n
+    denom = sum((z - zbar) ** 2 for z in zs)
+    if denom == 0:
+        raise ValueError("degenerate processor counts")
+    b = sum((z - zbar) * (y - ybar) for z, y in zip(zs, ys)) / denom
+    a = ybar - b * zbar
+    return ScalingFit(serial=max(0.0, a), parallel=max(0.0, b))

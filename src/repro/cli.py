@@ -1,0 +1,136 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig5 --quick
+    python -m repro run all
+    python -m repro info
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Kandaswamy et al., 'Performance Implications "
+                    "of Architectural and Software Techniques on "
+                    "I/O-Intensive Applications' (ICPP 1998)")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible tables and figures")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment",
+                     help="experiment id (e.g. fig2, table4) or 'all'")
+    run.add_argument("--quick", action="store_true",
+                     help="scaled-down configuration (seconds, not minutes)")
+
+    sub.add_parser("info", help="summarize the paper, apps and platforms")
+
+    report = sub.add_parser(
+        "report", help="run all experiments and write a markdown report")
+    report.add_argument("-o", "--output", default="report.md",
+                        help="output path (default: report.md)")
+    report.add_argument("--quick", action="store_true",
+                        help="scaled-down configurations")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments import EXPERIMENTS
+
+    print("Reproducible artifacts (paper table/figure -> experiment id):")
+    for exp_id, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:8s} {doc}")
+    return 0
+
+
+def _cmd_run(exp_id: str, quick: bool) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    targets = list(EXPERIMENTS) if exp_id == "all" else [exp_id]
+    failures = 0
+    for target in targets:
+        t0 = time.time()
+        try:
+            result = run_experiment(target, quick=quick)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(result.to_text())
+        print(f"  ({time.time() - t0:.1f}s host time)")
+        print()
+        if not result.all_checks_pass:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing checks",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_info() -> int:
+    from repro.apps import ALL_METADATA
+    from repro.machine import paragon_large, paragon_small, sp2
+
+    print(f"repro {__version__} — ICPP 1998 I/O-intensive applications "
+          f"study, in simulation")
+    print("\nApplications:")
+    for key, meta in ALL_METADATA.items():
+        print(f"  {meta.name:8s} ({key}): {meta.description}; "
+              f"{meta.io_type} [{meta.platform}]")
+    print("\nPlatforms:")
+    for cfg in (paragon_small(), paragon_large(), sp2()):
+        print(f"  {cfg.name}: {cfg.n_compute} compute + {cfg.n_io} I/O "
+              f"nodes, {cfg.topology}, "
+              f"{cfg.default_stripe_unit // 1024} KB stripe unit, "
+              f"{cfg.cpu.mflops:.0f} sustained Mflops/node")
+    print("\nSee DESIGN.md for the system inventory and EXPERIMENTS.md for "
+          "paper-vs-measured results.")
+    return 0
+
+
+def _cmd_report(output: str, quick: bool) -> int:
+    from repro.experiments import run_all
+    from repro.experiments.report import render_markdown
+
+    results = run_all(quick=quick)
+    text = render_markdown(results, quick=quick)
+    with open(output, "w") as fh:
+        fh.write(text)
+    failing = [eid for eid, r in results.items() if not r.all_checks_pass]
+    print(f"wrote {output} ({len(results)} artifacts)")
+    if failing:
+        print(f"failing checks in: {', '.join(failing)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.quick)
+    if args.command == "info":
+        return _cmd_info()
+    if args.command == "report":
+        return _cmd_report(args.output, args.quick)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Registry of every table/figure experiment, keyed by paper artifact."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments.results import ExperimentResult
+from repro.experiments.scf11_exps import fig1, fig2, fig3, table2, table3
+from repro.experiments.scf30_exps import fig4
+from repro.experiments.fft_exps import fig5
+from repro.experiments.btio_exps import fig6, fig7
+from repro.experiments.ast_exps import table4
+from repro.experiments.summary_exps import table1, table5
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "experiment_ids"]
+
+#: exp id -> callable(quick: bool) -> ExperimentResult
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+}
+
+
+def experiment_ids() -> List[str]:
+    return list(EXPERIMENTS)
+
+
+def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; "
+            f"known: {', '.join(EXPERIMENTS)}") from None
+    return fn(quick=quick)
+
+
+def run_all(quick: bool = True) -> Dict[str, ExperimentResult]:
+    """Run every experiment; returns {id: result}."""
+    return {exp_id: run_experiment(exp_id, quick=quick)
+            for exp_id in EXPERIMENTS}

@@ -1,0 +1,75 @@
+"""SCF 3.0 experiment: Figure 4 (balanced I/O)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.apps.scf30 import SCF30Config, run_scf30
+from repro.experiments.results import ExperimentResult, Series
+from repro.machine.presets import paragon_large
+
+__all__ = ["fig4"]
+
+
+def fig4(quick: bool = False) -> ExperimentResult:
+    """Figure 4: exec time vs %-cached-integrals, per P, for 16/64 I/O nodes.
+
+    Paper claims: (a) at 0% cached, adding processors is very effective;
+    (b) at 100% cached it barely matters; (c) the I/O-node count is not
+    very effective for this application; (d) caching more integrals is the
+    better lever at small/moderate processor counts.
+    """
+    fractions = [0.0, 0.5, 1.0] if quick else [0.0, 0.25, 0.5, 0.75, 0.9, 1.0]
+    procs = [16, 64] if quick else [16, 32, 64, 128, 256]
+    io_nodes = [16] if quick else [16, 64]
+    miters = 1 if quick else 2
+    exp = ExperimentResult(
+        exp_id="fig4",
+        title="SCF 3.0: balanced I/O (percentage of cached integrals)",
+        paper_reference="Figure 4 [0% cached: procs very effective; 100% "
+                        "cached: procs ineffective; I/O-node count minor]",
+    )
+    values = {}
+    for n_io in io_nodes:
+        for p in procs:
+            s = Series(f"P={p}, {n_io}io")
+            for f in fractions:
+                config = SCF30Config(cached_fraction=f,
+                                     measured_read_iters=miters)
+                res = run_scf30(paragon_large(n_compute=max(p, 4),
+                                              n_io=n_io), config, p)
+                s.add(f * 100, res.exec_time)
+                values[(n_io, p, f)] = res.exec_time
+            exp.series.append(s)
+
+    nio0 = io_nodes[0]
+    p_small, p_big = procs[0], procs[-1]
+    # (a) full-recompute: processors very effective.
+    speedup_recompute = (values[(nio0, p_small, 0.0)]
+                         / values[(nio0, p_big, 0.0)])
+    exp.add_check("0% cached: processors are very effective (speedup > 2x)",
+                  speedup_recompute > 2.0)
+    # (b) full-disk: processors make no significant difference.
+    speedup_cached = (values[(nio0, p_small, 1.0)]
+                      / values[(nio0, p_big, 1.0)])
+    exp.add_check("100% cached: processors not significant (speedup < 1.5x)",
+                  speedup_cached < 1.5)
+    exp.add_check("processor effectiveness much higher at 0% than 100%",
+                  speedup_recompute > 1.8 * speedup_cached)
+    # (d) caching wins at small/moderate processor counts.
+    exp.add_check("caching integrals beats recompute at small P",
+                  values[(nio0, p_small, 1.0)] < values[(nio0, p_small, 0.0)])
+    # (c) I/O-node count minor (full mode only).
+    if len(io_nodes) > 1:
+        diffs: List[float] = []
+        for p in procs:
+            for f in fractions:
+                a, b = values[(16, p, f)], values[(64, p, f)]
+                diffs.append(abs(a - b) / max(a, b))
+        exp.add_check("I/O-node count changes exec by <25% on average",
+                      sum(diffs) / len(diffs) < 0.25)
+        exp.notes.append(f"mean |16io-64io| relative difference: "
+                         f"{sum(diffs)/len(diffs):.1%}")
+    exp.notes.append(f"P={p_small}->{p_big} speedup: {speedup_recompute:.1f}x "
+                     f"at 0% cached vs {speedup_cached:.2f}x at 100% cached")
+    return exp

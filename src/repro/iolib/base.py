@@ -1,0 +1,175 @@
+"""Common machinery for application-level I/O interfaces.
+
+Every interface (Fortran record I/O, Unix-style, PASSION direct, …) wraps
+the same PFS data path but differs in *software cost per call* and in
+calling conventions (implicit vs explicit seeks, library-buffer copies).
+Those per-call differences are exactly the paper's "efficient interface"
+effect (Tables 2 → 3), so they are first-class parameters here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pfs.filesystem import ParallelFileSystem
+from repro.trace import IOOp, TraceCollector
+
+__all__ = ["InterfaceCosts", "IOInterface", "InterfaceFile"]
+
+
+@dataclass(frozen=True)
+class InterfaceCosts:
+    """Fixed software cost (seconds) the interface adds per operation.
+
+    ``buffer_copy`` models record-oriented libraries that stage every
+    payload through a library buffer, adding a memcpy of the payload on
+    top of the fixed cost.
+    """
+
+    open_s: float = 0.001
+    close_s: float = 0.001
+    read_call_s: float = 0.001
+    write_call_s: float = 0.001
+    seek_s: float = 0.0002
+    flush_s: float = 0.0005
+    buffer_copy: bool = False
+
+
+class IOInterface:
+    """Factory for :class:`InterfaceFile` objects of one interface flavour."""
+
+    #: Human-readable interface name (shows up in experiment reports).
+    name = "generic"
+    costs = InterfaceCosts()
+
+    def __init__(self, fs: ParallelFileSystem,
+                 trace: Optional[TraceCollector] = None):
+        self.fs = fs
+        self.env = fs.env
+        self.trace = trace if trace is not None else TraceCollector()
+
+    def _cpu_of(self, rank: int):
+        return self.fs.machine.compute_node(rank % self.fs.machine.n_compute)
+
+    def open(self, rank: int, name: str, create: bool = False,
+             stripe_unit: Optional[int] = None):
+        """Process generator: open ``name`` for ``rank``.
+
+        Returns an :class:`InterfaceFile`.
+        """
+        start = self.env.now
+        cpu = self._cpu_of(rank)
+        yield self.env.timeout(self.costs.open_s + cpu.cpu.syscall_overhead_s)
+        handle = yield from self.fs.open(name, rank, create=create,
+                                         stripe_unit=stripe_unit)
+        self.trace.record(IOOp.OPEN, rank, start, self.env.now - start,
+                          file=name)
+        return InterfaceFile(self, handle, rank)
+
+
+class InterfaceFile:
+    """An open file as seen through one interface, with a file pointer.
+
+    All methods are process generators.  ``read``/``write`` operate at the
+    current position and advance it; ``pread``/``pwrite`` take explicit
+    offsets without touching the pointer (PASSION-style interfaces build
+    on these).
+    """
+
+    def __init__(self, interface: IOInterface, handle, rank: int):
+        self.interface = interface
+        self.handle = handle
+        self.rank = rank
+        self.position = 0
+        self.env = interface.env
+
+    # -- internals ----------------------------------------------------------
+    @property
+    def _costs(self) -> InterfaceCosts:
+        return self.interface.costs
+
+    @property
+    def _trace(self) -> TraceCollector:
+        return self.interface.trace
+
+    @property
+    def name(self) -> str:
+        return self.handle.file.name
+
+    def _software_cost(self, base: float, nbytes: int, rank: int) -> float:
+        cpu = self.interface._cpu_of(rank)
+        cost = base + cpu.cpu.syscall_overhead_s
+        if self._costs.buffer_copy and nbytes > 0:
+            cost += nbytes / cpu.cpu.memcpy_rate
+        return cost
+
+    # -- positioned operations ------------------------------------------------
+    def seek(self, offset: int):
+        """Process generator: move the file pointer."""
+        if offset < 0:
+            raise ValueError("cannot seek to a negative offset")
+        start = self.env.now
+        yield self.env.timeout(self._software_cost(
+            self._costs.seek_s, 0, self.rank))
+        self.position = offset
+        self._trace.record(IOOp.SEEK, self.rank, start, self.env.now - start,
+                           file=self.name)
+
+    def read(self, nbytes: int):
+        """Process generator: read at the pointer, advancing it."""
+        result = yield from self.pread(self.position, nbytes)
+        self.position += nbytes
+        return result
+
+    def write(self, nbytes: int, data: Optional[bytes] = None):
+        """Process generator: write at the pointer, advancing it."""
+        result = yield from self.pwrite(self.position, nbytes, data)
+        self.position += nbytes
+        return result
+
+    def pread(self, offset: int, nbytes: int):
+        """Process generator: positioned read (pointer untouched)."""
+        start = self.env.now
+        yield self.env.timeout(self._software_cost(
+            self._costs.read_call_s, nbytes, self.rank))
+        result = yield from self.handle.read_at(offset, nbytes)
+        self._trace.record(IOOp.READ, self.rank, start, self.env.now - start,
+                           nbytes=nbytes, file=self.name)
+        return result
+
+    def pwrite(self, offset: int, nbytes: int, data: Optional[bytes] = None):
+        """Process generator: positioned write (pointer untouched)."""
+        start = self.env.now
+        yield self.env.timeout(self._software_cost(
+            self._costs.write_call_s, nbytes, self.rank))
+        result = yield from self.handle.write_at(offset, nbytes, data)
+        self._trace.record(IOOp.WRITE, self.rank, start, self.env.now - start,
+                           nbytes=nbytes, file=self.name)
+        return result
+
+    def flush(self):
+        """Process generator: flush library/OS buffers."""
+        start = self.env.now
+        yield self.env.timeout(self._software_cost(
+            self._costs.flush_s, 0, self.rank))
+        self._trace.record(IOOp.FLUSH, self.rank, start, self.env.now - start,
+                           file=self.name)
+
+    def close(self):
+        """Process generator: close the file."""
+        start = self.env.now
+        cpu = self.interface._cpu_of(self.rank)
+        yield self.env.timeout(self._costs.close_s
+                               + cpu.cpu.syscall_overhead_s)
+        yield from self.interface.fs.close(self.handle)
+        self._trace.record(IOOp.CLOSE, self.rank, start, self.env.now - start,
+                           file=self.name)
+
+    @property
+    def size(self) -> int:
+        return self.handle.file.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<InterfaceFile {self.name!r} rank={self.rank} "
+                f"pos={self.position} via {self.interface.name}>")

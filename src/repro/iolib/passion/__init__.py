@@ -1,0 +1,26 @@
+"""The PASSION runtime: efficient interface, two-phase collective I/O,
+prefetching, data sieving, out-of-core arrays."""
+
+from repro.iolib.passion.runtime import PassionFile, PassionIO
+from repro.iolib.passion.twophase import IORequest, TwoPhaseIO, merge_intervals
+from repro.iolib.passion.prefetch import PrefetchReader
+from repro.iolib.passion.sieve import sieved_read, sieved_write, sieve_worthwhile
+from repro.iolib.passion.oocarray import Layout, OutOfCoreArray
+from repro.iolib.passion.redistribute import Decomposition, Distribution, redistribute
+
+__all__ = [
+    "PassionFile",
+    "PassionIO",
+    "IORequest",
+    "TwoPhaseIO",
+    "merge_intervals",
+    "PrefetchReader",
+    "sieved_read",
+    "sieved_write",
+    "sieve_worthwhile",
+    "Layout",
+    "OutOfCoreArray",
+    "Decomposition",
+    "Distribution",
+    "redistribute",
+]

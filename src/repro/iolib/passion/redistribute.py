@@ -1,0 +1,148 @@
+"""Array redistribution between rank decompositions (PASSION runtime).
+
+Out-of-core programs frequently move a distributed array between
+decompositions — BLOCK for I/O locality, CYCLIC for load balance — using
+the same communication machinery as two-phase I/O.  This module provides
+the decomposition algebra plus a timed, functional redistribution over a
+:class:`~repro.mp.Communicator`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mp.comm import Communicator
+
+__all__ = ["Distribution", "Decomposition", "redistribute"]
+
+
+class Distribution(enum.Enum):
+    """1-D distribution kinds."""
+
+    BLOCK = "block"
+    CYCLIC = "cyclic"
+    BLOCK_CYCLIC = "block_cyclic"
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A 1-D array of ``n`` elements spread over ``p`` ranks."""
+
+    n: int
+    p: int
+    kind: Distribution
+    block: int = 1           # used by BLOCK_CYCLIC
+
+    def __post_init__(self):
+        if self.n < 0 or self.p <= 0:
+            raise ValueError("need n >= 0 and p > 0")
+        if self.kind is Distribution.BLOCK_CYCLIC and self.block <= 0:
+            raise ValueError("block size must be positive")
+
+    def owner_of(self, index: int) -> int:
+        """Rank owning a global index."""
+        if not 0 <= index < self.n:
+            raise IndexError(index)
+        if self.kind is Distribution.BLOCK:
+            base, extra = divmod(self.n, self.p)
+            # First `extra` ranks hold base+1 elements.
+            cut = extra * (base + 1)
+            if index < cut:
+                return index // (base + 1)
+            return extra + (index - cut) // base if base else self.p - 1
+        if self.kind is Distribution.CYCLIC:
+            return index % self.p
+        return (index // self.block) % self.p
+
+    def owners(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner_of`."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if self.kind is Distribution.BLOCK:
+            base, extra = divmod(self.n, self.p)
+            cut = extra * (base + 1)
+            out = np.empty_like(idx)
+            low = idx < cut
+            out[low] = idx[low] // max(1, base + 1)
+            if base:
+                out[~low] = extra + (idx[~low] - cut) // base
+            else:
+                out[~low] = self.p - 1
+            return out
+        if self.kind is Distribution.CYCLIC:
+            return idx % self.p
+        return (idx // self.block) % self.p
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        """Global indices owned by ``rank``, in local storage order."""
+        if not 0 <= rank < self.p:
+            raise ValueError(f"rank {rank} out of range")
+        if self.kind is Distribution.BLOCK:
+            base, extra = divmod(self.n, self.p)
+            start = rank * base + min(rank, extra)
+            stop = start + base + (1 if rank < extra else 0)
+            return np.arange(start, stop, dtype=np.int64)
+        if self.kind is Distribution.CYCLIC:
+            return np.arange(rank, self.n, self.p, dtype=np.int64)
+        out = []
+        blk = self.block
+        for start in range(rank * blk, self.n, self.p * blk):
+            out.append(np.arange(start, min(start + blk, self.n),
+                                 dtype=np.int64))
+        return (np.concatenate(out) if out
+                else np.empty(0, dtype=np.int64))
+
+    def local_count(self, rank: int) -> int:
+        return len(self.local_indices(rank))
+
+
+def redistribute(rank: int, comm: Communicator,
+                 src: Decomposition, dst: Decomposition,
+                 local_data: Optional[np.ndarray] = None,
+                 itemsize: int = 8):
+    """Process generator: move an array from ``src`` to ``dst`` layout.
+
+    The exchange is timed over the machine fabric (an all-to-all
+    personalized exchange, exactly the two-phase communication pattern).
+    If ``local_data`` is given (this rank's elements in ``src`` order) the
+    redistributed local array (in ``dst`` order) is returned; otherwise
+    only the timing happens and the new local element count is returned.
+    """
+    if src.n != dst.n or src.p != dst.p:
+        raise ValueError("decompositions must agree on n and p")
+    if src.p != comm.size:
+        raise ValueError("decomposition width must match communicator size")
+    my_src = src.local_indices(rank)
+    if local_data is not None and len(local_data) != len(my_src):
+        raise ValueError("local_data length does not match decomposition")
+
+    owners = dst.owners(my_src) if len(my_src) else np.empty(0, np.int64)
+    payloads: Dict[int, object] = {}
+    sizes: Dict[int, int] = {}
+    for dest in range(comm.size):
+        mask = owners == dest
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        sizes[dest] = count * itemsize
+        idx = my_src[mask]
+        if local_data is not None:
+            payloads[dest] = (idx, np.asarray(local_data)[mask])
+        else:
+            payloads[dest] = (idx, None)
+
+    inbound = yield from comm.alltoallv(rank, payloads, sizes)
+
+    my_dst = dst.local_indices(rank)
+    if local_data is None:
+        return len(my_dst)
+    # Assemble received pieces into dst-local order.
+    out = np.empty(len(my_dst), dtype=np.asarray(local_data).dtype)
+    position = {int(g): i for i, g in enumerate(my_dst)}
+    for idx, values in inbound.values():
+        for g, v in zip(idx, values):
+            out[position[int(g)]] = v
+    return out

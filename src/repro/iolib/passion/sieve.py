@@ -1,0 +1,89 @@
+"""Data sieving: service strided requests with one large access.
+
+Instead of issuing one file-system call per small piece, data sieving
+reads the whole span covering the pieces once and extracts them in memory
+(for writes: read-modify-write of the span).  Worthwhile whenever the
+per-call cost times the piece count exceeds the cost of dragging the holes
+along.  PASSION used it for non-collective strided access; it also
+backs the paper's remark that buffering/coalescing requests is the first
+optimization to reach for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.iolib.base import InterfaceFile
+from repro.iolib.passion.twophase import IORequest, merge_intervals
+
+__all__ = ["sieved_read", "sieved_write", "sieve_worthwhile"]
+
+
+def sieve_worthwhile(requests: Sequence[IORequest], per_call_s: float,
+                     transfer_rate: float) -> bool:
+    """Heuristic from the PASSION runtime: sieve if the saved per-call
+    overhead outweighs transferring the holes."""
+    reqs = [r if isinstance(r, IORequest) else IORequest(*r) for r in requests]
+    if len(reqs) <= 1:
+        return False
+    covered = merge_intervals([(r.offset, r.end) for r in reqs])
+    span = covered[-1][1] - covered[0][0]
+    useful = sum(r.nbytes for r in reqs)
+    holes = span - useful
+    saved = (len(reqs) - 1) * per_call_s
+    return saved > holes / transfer_rate
+
+
+def sieved_read(file: InterfaceFile, requests: Sequence[IORequest]):
+    """Process generator: read all pieces via one spanning access.
+
+    Returns per-request payloads (functional mode) or the useful byte
+    count.
+    """
+    reqs = [r if isinstance(r, IORequest) else IORequest(*r) for r in requests]
+    reqs = [r for r in reqs if r.nbytes > 0]
+    if not reqs:
+        return [] if file.handle.file.functional else 0
+    lo = min(r.offset for r in reqs)
+    hi = max(r.end for r in reqs)
+    got = yield from file.pread(lo, hi - lo)
+    # Extraction copy of the useful bytes.
+    useful = sum(r.nbytes for r in reqs)
+    cpu = file.interface._cpu_of(file.rank)
+    yield file.env.timeout(useful / cpu.cpu.memcpy_rate)
+    if not file.handle.file.functional:
+        return useful
+    return [got[r.offset - lo: r.end - lo] for r in reqs]
+
+
+def sieved_write(file: InterfaceFile, requests: Sequence[IORequest]):
+    """Process generator: write all pieces via read-modify-write of the span.
+
+    Returns the span length written.
+    """
+    reqs = [r if isinstance(r, IORequest) else IORequest(*r) for r in requests]
+    reqs = [r for r in reqs if r.nbytes > 0]
+    if not reqs:
+        return 0
+    lo = min(r.offset for r in reqs)
+    hi = max(r.end for r in reqs)
+    covered = merge_intervals([(r.offset, r.end) for r in reqs])
+    full = len(covered) == 1 and covered[0] == (lo, hi)
+    functional = file.handle.file.functional
+    data: Optional[bytes] = None
+    if full:
+        buf = bytearray(hi - lo) if functional else None
+    else:
+        old = yield from file.pread(lo, hi - lo)
+        buf = bytearray(old) if functional else None
+    if functional:
+        for r in reqs:
+            if r.payload is None:
+                raise ValueError("functional file requires payloads")
+            buf[r.offset - lo: r.end - lo] = r.payload
+        data = bytes(buf)
+    useful = sum(r.nbytes for r in reqs)
+    cpu = file.interface._cpu_of(file.rank)
+    yield file.env.timeout(useful / cpu.cpu.memcpy_rate)
+    yield from file.pwrite(lo, hi - lo, data)
+    return hi - lo

@@ -1,0 +1,29 @@
+"""Unix-style (NX / MPI-IO-as-POSIX) file interface.
+
+This is the "base version" interface of BTIO in the paper: every access is
+an explicit ``lseek`` + ``read``/``write`` system-call pair routed through
+the parallel file system's Unix-compatibility mode, which pays a
+substantial fixed software cost per call (mode tokens, consistency
+bookkeeping) on 1990s parallel file systems.
+"""
+
+from __future__ import annotations
+
+from repro.iolib.base import InterfaceCosts, IOInterface
+
+__all__ = ["UnixIO"]
+
+
+class UnixIO(IOInterface):
+    """Per-call Unix-compatibility interface."""
+
+    name = "unix"
+    costs = InterfaceCosts(
+        open_s=0.004,
+        close_s=0.002,
+        read_call_s=0.009,
+        write_call_s=0.010,
+        seek_s=0.0006,
+        flush_s=0.002,
+        buffer_copy=False,
+    )

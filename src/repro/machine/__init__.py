@@ -1,0 +1,39 @@
+"""Machine model: nodes, disks, interconnect, and platform presets."""
+
+from repro.machine.params import (
+    KB,
+    MB,
+    GB,
+    CPUParams,
+    DiskParams,
+    IONodeParams,
+    NetworkParams,
+)
+from repro.machine.disk import Disk, DiskStats
+from repro.machine.node import ComputeNode, IONode
+from repro.machine.machine import Machine, MachineConfig
+from repro.machine.network import Fabric, Mesh2D, MultistageSwitch, Topology
+from repro.machine.presets import paragon_large, paragon_small, sp2
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "CPUParams",
+    "DiskParams",
+    "IONodeParams",
+    "NetworkParams",
+    "Disk",
+    "DiskStats",
+    "ComputeNode",
+    "IONode",
+    "Machine",
+    "MachineConfig",
+    "Fabric",
+    "Mesh2D",
+    "MultistageSwitch",
+    "Topology",
+    "paragon_large",
+    "paragon_small",
+    "sp2",
+]

@@ -1,0 +1,121 @@
+"""The assembled machine: nodes + fabric under one simulation environment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Literal, Mapping, Optional
+
+from repro.sim import Environment
+from repro.machine.params import CPUParams, IONodeParams, NetworkParams, KB, MB
+from repro.machine.node import ComputeNode, IONode
+from repro.machine.network import Fabric, Mesh2D, MultistageSwitch, Topology
+
+__all__ = ["MachineConfig", "Machine"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static description of a machine instance.
+
+    ``n_compute``/``n_io`` are the *partition* sizes used by a run, not the
+    full installation (the paper likewise carves partitions out of the 512
+    node Paragon).
+    """
+
+    name: str = "machine"
+    n_compute: int = 4
+    n_io: int = 2
+    topology: Literal["mesh", "switch"] = "mesh"
+    cpu: CPUParams = field(default_factory=CPUParams)
+    ionode: IONodeParams = field(default_factory=IONodeParams)
+    net: NetworkParams = field(default_factory=NetworkParams)
+    memory_per_node: int = 32 * MB
+    default_stripe_unit: int = 64 * KB
+    #: Per-I/O-node parameter overrides (index -> params), e.g. to model a
+    #: degraded or upgraded server in an otherwise uniform partition.
+    ionode_overrides: Optional[Mapping[int, IONodeParams]] = None
+
+    def __post_init__(self):
+        if self.ionode_overrides:
+            for idx in self.ionode_overrides:
+                if not 0 <= idx < self.n_io:
+                    raise ValueError(
+                        f"ionode override index {idx} out of range")
+        if self.n_compute <= 0:
+            raise ValueError("n_compute must be positive")
+        if self.n_io <= 0:
+            raise ValueError("n_io must be positive")
+        if self.memory_per_node <= 0:
+            raise ValueError("memory_per_node must be positive")
+        if self.default_stripe_unit <= 0:
+            raise ValueError("default_stripe_unit must be positive")
+
+    def with_(self, **overrides) -> "MachineConfig":
+        """Return a copy with fields replaced (sweep helper)."""
+        return replace(self, **overrides)
+
+
+class Machine:
+    """A live machine: environment, compute nodes, I/O nodes, fabric.
+
+    Node addressing is global: compute nodes ``0..n_compute-1``, I/O nodes
+    ``n_compute..n_compute+n_io-1``.
+    """
+
+    def __init__(self, config: MachineConfig,
+                 env: Optional[Environment] = None):
+        self.config = config
+        self.env = env if env is not None else Environment()
+        self.compute_nodes: List[ComputeNode] = [
+            ComputeNode(self.env, i, config.cpu, config.memory_per_node)
+            for i in range(config.n_compute)
+        ]
+        overrides = config.ionode_overrides or {}
+        self.io_nodes: List[IONode] = [
+            IONode(self.env, config.n_compute + j,
+                   overrides.get(j, config.ionode))
+            for j in range(config.n_io)
+        ]
+        self.topology = self._build_topology()
+        self.fabric = Fabric(self.env, self.topology, config.net)
+
+    def _build_topology(self) -> Topology:
+        total = self.config.n_compute + self.config.n_io
+        if self.config.topology == "mesh":
+            return Mesh2D.for_node_count(total)
+        if self.config.topology == "switch":
+            return MultistageSwitch(total)
+        raise ValueError(f"unknown topology {self.config.topology!r}")
+
+    # -- addressing ---------------------------------------------------------
+    @property
+    def n_compute(self) -> int:
+        return self.config.n_compute
+
+    @property
+    def n_io(self) -> int:
+        return self.config.n_io
+
+    def io_address(self, io_index: int) -> int:
+        """Global node id of the ``io_index``-th I/O node."""
+        if not 0 <= io_index < self.n_io:
+            raise IndexError(f"I/O node {io_index} out of range")
+        return self.config.n_compute + io_index
+
+    def compute_node(self, rank: int) -> ComputeNode:
+        return self.compute_nodes[rank]
+
+    def io_node(self, io_index: int) -> IONode:
+        return self.io_nodes[io_index]
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def run(self, until=None):
+        """Delegate to the environment's run loop."""
+        return self.env.run(until)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Machine {self.config.name} compute={self.n_compute} "
+                f"io={self.n_io}>")

@@ -1,0 +1,6 @@
+"""Interconnect model: topologies (hop counts) and the contended fabric."""
+
+from repro.machine.network.topology import Topology, Mesh2D, MultistageSwitch
+from repro.machine.network.fabric import Fabric, NodeAddress
+
+__all__ = ["Topology", "Mesh2D", "MultistageSwitch", "Fabric", "NodeAddress"]

@@ -1,0 +1,84 @@
+"""The contended message fabric.
+
+Transfers pay an analytic latency (endpoint software + per-hop router
+delay) plus a bandwidth term serialized at the *receiver's* NIC.  Modelling
+only receiver-side contention is deliberate: the hotspots in this study are
+the few I/O nodes that dozens of compute nodes converge on, and a
+receiver-queue model captures exactly that saturation while keeping the
+all-to-all phases of collective I/O cheap to simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim import Environment, Resource
+from repro.machine.params import NetworkParams
+from repro.machine.network.topology import Topology
+
+__all__ = ["Fabric", "NodeAddress", "FabricStats"]
+
+NodeAddress = int
+
+
+@dataclass
+class FabricStats:
+    """Aggregate fabric counters."""
+
+    messages: int = 0
+    bytes_moved: int = 0
+    total_transfer_time: float = 0.0
+
+
+class Fabric:
+    """Message transport over a :class:`Topology`."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 params: NetworkParams):
+        self.env = env
+        self.topology = topology
+        self.params = params
+        self._nics: Dict[NodeAddress, Resource] = {}
+        self.stats = FabricStats()
+
+    def _nic(self, node: NodeAddress) -> Resource:
+        nic = self._nics.get(node)
+        if nic is None:
+            nic = Resource(self.env, capacity=1)
+            self._nics[node] = nic
+        return nic
+
+    def nic_queue_length(self, node: NodeAddress) -> int:
+        """Requests currently queued at a node's NIC (diagnostic)."""
+        nic = self._nics.get(node)
+        return 0 if nic is None else nic.queue_length + nic.count
+
+    def wire_time(self, src: NodeAddress, dst: NodeAddress, nbytes: int) -> float:
+        """Uncontended time for one message (latency + bandwidth terms)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        p = self.params
+        hops = self.topology.hops(src, dst)
+        return (p.latency_s + p.msg_overhead_s
+                + hops * p.per_hop_s + nbytes / p.link_bandwidth)
+
+    def transfer(self, src: NodeAddress, dst: NodeAddress, nbytes: int):
+        """Process generator: move ``nbytes`` from ``src`` to ``dst``.
+
+        Intra-node "transfers" cost a memory copy only (handled by callers
+        that care); here they are free but still take one event step.
+        """
+        start = self.env.now
+        if src == dst:
+            yield self.env.timeout(0.0)
+            return
+        p = self.params
+        hops = self.topology.hops(src, dst)
+        header = p.latency_s + p.msg_overhead_s + hops * p.per_hop_s
+        with self._nic(dst).request() as slot:
+            yield slot
+            yield self.env.timeout(header + nbytes / p.link_bandwidth)
+        self.stats.messages += 1
+        self.stats.bytes_moved += nbytes
+        self.stats.total_transfer_time += self.env.now - start

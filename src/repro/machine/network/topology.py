@@ -1,0 +1,102 @@
+"""Interconnect topologies.
+
+A topology maps node ids to coordinates and yields hop counts between
+nodes.  Node ids are global: compute nodes first (``0..n_compute-1``), then
+I/O nodes (``n_compute..n_compute+n_io-1``), matching how the Paragon
+placed service partitions at mesh edges.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+__all__ = ["Topology", "Mesh2D", "MultistageSwitch"]
+
+
+class Topology(ABC):
+    """Abstract hop-count provider."""
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Router-to-router hops between two node ids."""
+
+    @abstractmethod
+    def n_nodes(self) -> int:
+        """Total node count the topology covers."""
+
+    def average_hops(self) -> float:
+        """Mean hop count over distinct ordered pairs (diagnostic)."""
+        n = self.n_nodes()
+        if n < 2:
+            return 0.0
+        total = sum(self.hops(i, j) for i in range(n) for j in range(n) if i != j)
+        return total / (n * (n - 1))
+
+
+class Mesh2D(Topology):
+    """2-D mesh with dimension-ordered (XY) routing, Paragon style.
+
+    Nodes fill the mesh row-major.  The Paragon's compute partition was a
+    dense mesh with service/I/O nodes attached along one edge; we reproduce
+    that by appending the I/O nodes as an extra column.
+    """
+
+    def __init__(self, rows: int, cols: int):
+        if rows <= 0 or cols <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+
+    @classmethod
+    def for_node_count(cls, n: int) -> "Mesh2D":
+        """Nearly square mesh holding at least ``n`` nodes."""
+        if n <= 0:
+            raise ValueError("node count must be positive")
+        cols = max(1, int(math.isqrt(n)))
+        rows = (n + cols - 1) // cols
+        return cls(rows, cols)
+
+    def n_nodes(self) -> int:
+        return self.rows * self.cols
+
+    def coords(self, node: int) -> Tuple[int, int]:
+        """(row, col) of a node id, row-major; ids past the mesh wrap onto
+        the last column (models edge-attached service nodes)."""
+        if node < 0:
+            raise ValueError("negative node id")
+        if node >= self.n_nodes():
+            # Edge-attached node: place on right edge, spread over rows.
+            return ((node - self.n_nodes()) % self.rows, self.cols - 1)
+        return divmod(node, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        (r1, c1), (r2, c2) = self.coords(src), self.coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+
+class MultistageSwitch(Topology):
+    """SP-2-style multistage omega network.
+
+    Any two distinct nodes are ``log2(n)`` switch stages apart (rounded up),
+    giving near-uniform latency — the defining property of the SP-2 switch.
+    """
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("node count must be positive")
+        self._n = n
+        self._stages = max(1, math.ceil(math.log2(max(2, n))))
+
+    def n_nodes(self) -> int:
+        return self._n
+
+    @property
+    def stages(self) -> int:
+        return self._stages
+
+    def hops(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        return self._stages

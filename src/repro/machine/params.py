@@ -1,0 +1,91 @@
+"""Parameter dataclasses for the machine model.
+
+All times are seconds, all sizes bytes, all rates bytes/second, following
+the project-wide unit convention.  Defaults are calibrated to mid-1990s
+hardware (i860-class nodes, Seagate-class SCSI disks) — see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KB", "MB", "GB", "DiskParams", "NetworkParams", "CPUParams",
+           "IONodeParams"]
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class DiskParams:
+    """Timing model of a single disk.
+
+    A request's raw service time is::
+
+        controller_overhead
+        + (track_seek if near-sequential else avg_seek)   [skipped if
+                                                            exactly
+                                                            sequential]
+        + rotational_latency (half-revolution average, skipped if
+          sequential)
+        + nbytes / transfer_rate
+    """
+
+    avg_seek_s: float = 0.011          # average arm movement
+    track_seek_s: float = 0.0015       # adjacent-track movement
+    rotational_latency_s: float = 0.0042  # half revolution @ 7200 rpm
+    transfer_rate: float = 5.0 * MB    # sustained media rate
+    controller_overhead_s: float = 0.0007
+    #: Offsets closer than this count as "near sequential" (track seek only).
+    near_threshold: int = 256 * KB
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Link/switch timing of the interconnect."""
+
+    link_bandwidth: float = 175.0 * MB   # per-link payload rate
+    latency_s: float = 40e-6             # end-point software latency
+    per_hop_s: float = 0.5e-6            # router delay per hop
+    #: Per-message software (protocol stack) overhead on each endpoint.
+    msg_overhead_s: float = 25e-6
+
+
+@dataclass(frozen=True)
+class CPUParams:
+    """Compute-node processor and local-memory model."""
+
+    mflops: float = 50.0                 # sustained Mflop/s
+    memcpy_rate: float = 30.0 * MB       # buffer-copy rate
+    #: Fixed software cost of entering the OS / file-system client per call.
+    syscall_overhead_s: float = 50e-6
+
+    @property
+    def flops(self) -> float:
+        """Sustained floating-point rate in flop/s."""
+        return self.mflops * 1e6
+
+
+@dataclass(frozen=True)
+class IONodeParams:
+    """An I/O node: some disks plus request-handling overhead."""
+
+    disks_per_node: int = 1
+    disk: DiskParams = field(default_factory=DiskParams)
+    #: CPU cost the I/O node pays per request (protocol, block mapping).
+    request_overhead_s: float = 0.0005
+    #: Server cache read-ahead window (0 disables read-ahead).
+    readahead_bytes: int = 256 * KB
+    #: Server cache capacity in stripe units (per I/O node).
+    cache_units: int = 64
+    #: Memory-speed service rate for cache hits.
+    cache_transfer_rate: float = 90.0 * MB
+    #: Write-behind buffer per server; small writes are absorbed at memory
+    #: speed and flushed to disk asynchronously, with back-pressure once
+    #: the buffer fills.
+    write_buffer_bytes: int = 4 * MB
+    #: Writes at or above this size bypass the write-behind buffer and go
+    #: straight to disk (large sequential writes don't benefit from
+    #: buffering and would churn it).
+    write_through_bytes: int = 256 * KB

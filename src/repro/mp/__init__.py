@@ -1,0 +1,6 @@
+"""Message-passing layer: communicators and rank synchronization."""
+
+from repro.mp.comm import Communicator
+from repro.mp.rendezvous import Barrier, Exchanger
+
+__all__ = ["Communicator", "Barrier", "Exchanger"]

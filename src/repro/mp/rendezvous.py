@@ -1,0 +1,81 @@
+"""Rank-synchronization primitives for SPMD workloads.
+
+All ranks of a simulated application are generator processes inside one
+:class:`~repro.sim.Environment`; these helpers give them MPI-like
+rendezvous semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sim import Environment, Event
+
+__all__ = ["Barrier", "Exchanger"]
+
+
+class Barrier:
+    """Reusable barrier for a fixed group size.
+
+    Each participant calls :meth:`wait` (a process generator).  The barrier
+    is generation-counted so it can be reused any number of times.
+    """
+
+    def __init__(self, env: Environment, parties: int):
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self.env = env
+        self.parties = parties
+        self._count = 0
+        self._generation = 0
+        self._event = env.event()
+
+    def wait(self):
+        """Process generator: block until all parties have arrived."""
+        self._count += 1
+        if self._count == self.parties:
+            self._count = 0
+            self._generation += 1
+            fired, self._event = self._event, self.env.event()
+            fired.succeed(self._generation)
+            # The releasing rank still yields once so every participant
+            # resumes at the same simulated instant through the event queue.
+            yield self.env.timeout(0.0)
+            return self._generation
+        generation = yield self._event
+        return generation
+
+
+class Exchanger:
+    """Zero-time payload mailbox for data that has *already been timed*.
+
+    Two-phase I/O times its communication with fabric transfers, but the
+    actual Python payloads (numpy blocks) are exchanged through this shared
+    structure: each generation, every rank deposits a dict of
+    ``{dst_rank: payload}`` and, after a barrier, collects everything
+    addressed to it.  Keeping payload movement out of the timed path avoids
+    double-charging the fabric.
+    """
+
+    def __init__(self, env: Environment, parties: int):
+        self.env = env
+        self.parties = parties
+        self._barrier = Barrier(env, parties)
+        self._slots: Dict[int, Dict[int, Any]] = {}
+
+    def exchange(self, rank: int, outgoing: Optional[Dict[int, Any]] = None):
+        """Process generator: deposit ``outgoing`` and collect inbound.
+
+        Returns ``{src_rank: payload}`` for this rank.
+        """
+        if outgoing:
+            for dst, payload in outgoing.items():
+                if not 0 <= dst < self.parties:
+                    raise ValueError(f"destination rank {dst} out of range")
+                self._slots.setdefault(dst, {})[rank] = payload
+        yield from self._barrier.wait()
+        inbound = self._slots.pop(rank, {})
+        # A second barrier ensures all pops complete before the next
+        # generation starts filling slots.
+        yield from self._barrier.wait()
+        return inbound

@@ -1,0 +1,22 @@
+"""Parallel file systems: striping, servers, caches, PFS and PIOFS."""
+
+from repro.pfs.striping import Extent, StripeMap
+from repro.pfs.cache import StripeCache
+from repro.pfs.file import FileHandle, PFile
+from repro.pfs.server import IOServer
+from repro.pfs.filesystem import PFS, PIOFS, ParallelFileSystem
+from repro.pfs.modes import IOMode, SharedModeFile
+
+__all__ = [
+    "Extent",
+    "StripeMap",
+    "StripeCache",
+    "FileHandle",
+    "PFile",
+    "IOServer",
+    "PFS",
+    "PIOFS",
+    "ParallelFileSystem",
+    "IOMode",
+    "SharedModeFile",
+]

@@ -1,0 +1,68 @@
+"""Server-side stripe-unit cache with sequential read-ahead.
+
+Each I/O server keeps an LRU cache of stripe units.  A read that hits the
+cache is served at memory speed; a miss goes to the disk and triggers
+read-ahead of the following units of the same file region.  Writes are
+write-through and populate the cache (the real PFS servers buffered in the
+same way).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+__all__ = ["StripeCache"]
+
+CacheKey = Tuple[Hashable, int]  # (file id, stripe-unit index on this server)
+
+
+class StripeCache:
+    """Bounded LRU set of (file, unit) keys."""
+
+    def __init__(self, capacity_units: int = 64):
+        if capacity_units < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity_units
+        self._units: "OrderedDict[CacheKey, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._units)
+
+    def lookup(self, key: CacheKey) -> bool:
+        """Check membership and update recency + hit/miss counters."""
+        if self.capacity == 0:
+            self.misses += 1
+            return False
+        if key in self._units:
+            self._units.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, key: CacheKey) -> bool:
+        """Membership test without touching counters or recency."""
+        return key in self._units
+
+    def insert(self, key: CacheKey) -> None:
+        """Add (or refresh) a unit, evicting LRU entries past capacity."""
+        if self.capacity == 0:
+            return
+        self._units[key] = None
+        self._units.move_to_end(key)
+        while len(self._units) > self.capacity:
+            self._units.popitem(last=False)
+
+    def invalidate(self, key: CacheKey) -> None:
+        self._units.pop(key, None)
+
+    def clear(self) -> None:
+        self._units.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

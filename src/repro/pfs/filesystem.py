@@ -1,0 +1,205 @@
+"""Parallel file-system front ends: PFS (Paragon) and PIOFS (SP-2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.machine.machine import Machine
+from repro.pfs.file import FileHandle, PFile
+from repro.pfs.server import IOServer
+from repro.pfs.striping import StripeMap
+
+__all__ = ["ParallelFileSystem", "PFS", "PIOFS"]
+
+#: Size of the control message a client sends to open a request.
+_REQUEST_MSG_BYTES = 96
+#: Size of a write acknowledgement.
+_ACK_MSG_BYTES = 32
+#: Per-disk region reserved for each file so files never interleave on a
+#: platter (keeps the positional disk model honest).
+_FILE_REGION_BYTES = 8 * (1 << 30)
+
+
+class ParallelFileSystem:
+    """Striped file system over a :class:`~repro.machine.Machine`.
+
+    Subclasses fix the platform defaults (stripe unit, spindle fan-out).
+    The core data path is :meth:`_transfer`, used by
+    :class:`~repro.pfs.file.FileHandle`: split the byte range into extents,
+    then for each extent run request message → server disk service →
+    response message, all extents in parallel (this is precisely the
+    parallelism striping buys, and the queueing at shared servers is where
+    contention emerges).
+    """
+
+    #: Platform default stripe unit (bytes); overridden by subclasses.
+    default_stripe_unit = 64 * 1024
+
+    def __init__(self, machine: Machine, functional: bool = False,
+                 stripe_unit: Optional[int] = None):
+        self.machine = machine
+        self.env = machine.env
+        self.functional = functional
+        self.stripe_unit = (stripe_unit if stripe_unit is not None
+                            else machine.config.default_stripe_unit)
+        self.servers: List[IOServer] = [
+            IOServer(machine.io_node(i), i) for i in range(machine.n_io)
+        ]
+        self._files: Dict[str, PFile] = {}
+        self._next_id = 0
+        self._next_region = 0
+        #: Fixed software cost of an open/close at the metadata server.
+        self.open_cost_s = 0.03
+        self.close_cost_s = 0.02
+
+    # -- namespace --------------------------------------------------------------
+    def create(self, name: str, stripe_unit: Optional[int] = None,
+               n_io: Optional[int] = None) -> PFile:
+        """Create a file striped over ``n_io`` nodes (default: all)."""
+        if name in self._files:
+            raise FileExistsError(name)
+        smap = StripeMap(
+            stripe_unit if stripe_unit is not None else self.stripe_unit,
+            n_io if n_io is not None else self.machine.n_io,
+            self.machine.config.ionode.disks_per_node,
+        )
+        if smap.n_io > self.machine.n_io:
+            raise ValueError("file striped over more I/O nodes than exist")
+        f = PFile(self._next_id, name, smap, functional=self.functional)
+        self._next_id += 1
+        region = self._next_region
+        self._next_region += 1
+        for io_index in range(smap.n_io):
+            for disk_index in range(smap.disks_per_node):
+                f.disk_base[(io_index, disk_index)] = (
+                    region * _FILE_REGION_BYTES)
+        self._files[name] = f
+        return f
+
+    def lookup(self, name: str) -> PFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise FileNotFoundError(name) from None
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def unlink(self, name: str) -> None:
+        f = self.lookup(name)
+        if f.open_count > 0:
+            raise RuntimeError(f"{name!r} is still open")
+        del self._files[name]
+
+    def listdir(self) -> List[str]:
+        return sorted(self._files)
+
+    # -- open/close (process generators: they cost simulated time) ----------------
+    def open(self, name: str, rank: int, create: bool = False,
+             stripe_unit: Optional[int] = None):
+        """Process generator: open ``name``, returning a FileHandle."""
+        if not self.exists(name):
+            if not create:
+                raise FileNotFoundError(name)
+            self.create(name, stripe_unit=stripe_unit)
+        yield self.env.timeout(self.open_cost_s)
+        f = self.lookup(name)
+        f.open_count += 1
+        return FileHandle(self, f, rank)
+
+    def close(self, handle: FileHandle):
+        """Process generator: close a handle."""
+        yield self.env.timeout(self.close_cost_s)
+        handle.close()
+
+    # -- the data path -----------------------------------------------------------
+    def _extent_op(self, handle: FileHandle, extent, write: bool):
+        """One extent: request msg → server service → data/ack msg."""
+        fabric = self.machine.fabric
+        client = handle.rank
+        io_addr = self.machine.io_address(extent.io_index)
+        server = self.servers[extent.io_index]
+        if write:
+            # Request+payload to the server, then service, then a tiny ack.
+            yield from fabric.transfer(client, io_addr,
+                                       _REQUEST_MSG_BYTES + extent.length)
+            yield from server.write_extent(handle.file, extent)
+            yield from fabric.transfer(io_addr, client, _ACK_MSG_BYTES)
+        else:
+            yield from fabric.transfer(client, io_addr, _REQUEST_MSG_BYTES)
+            yield from server.read_extent(handle.file, extent)
+            yield from fabric.transfer(io_addr, client, extent.length)
+
+    def _transfer(self, handle: FileHandle, offset: int, nbytes: int,
+                  write: bool, data: Optional[bytes]):
+        """Process generator: move a byte range, all extents in parallel."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError("offset and nbytes must be non-negative")
+        if nbytes == 0:
+            return
+        extents = handle.file.stripe_map.extents(offset, nbytes)
+        if len(extents) == 1:
+            yield from self._extent_op(handle, extents[0], write)
+            return
+        procs = [self.env.process(self._extent_op(handle, e, write),
+                                  name=f"ext-{e.io_index}")
+                 for e in extents]
+        yield self.env.all_of(procs)
+
+    # -- stats -------------------------------------------------------------------
+    def cache_hit_rate(self) -> float:
+        hits = sum(s.cache.hits for s in self.servers)
+        misses = sum(s.cache.misses for s in self.servers)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def total_bytes_moved(self) -> int:
+        return sum(n.stats.bytes_read + n.stats.bytes_written
+                   for n in self.machine.io_nodes)
+
+
+class PFS(ParallelFileSystem):
+    """Intel Paragon Parallel File System: 64 KB stripe units, round-robin
+    across the I/O partition."""
+
+    default_stripe_unit = 64 * 1024
+
+
+class PIOFS(ParallelFileSystem):
+    """IBM SP-2 PIOFS: 32 KB basic striping units (BSUs), files spread
+    across the I/O nodes' SSA disk arrays.
+
+    PIOFS serializes consistency metadata for *shared-file writes* on a
+    per-file mode token: every write call to a file opened by more than
+    one process first acquires the token for ``token_service_s``.  With
+    thousands of tiny writes per dump this token, not the disks, is what
+    the unoptimized BTIO queues on — collective I/O sidesteps it by
+    issuing one call per process.
+    """
+
+    default_stripe_unit = 32 * 1024
+    #: Token hold time per shared-file write call.
+    token_service_s = 0.00012
+
+    def __init__(self, machine: Machine, functional: bool = False,
+                 stripe_unit: Optional[int] = None):
+        super().__init__(machine, functional=functional,
+                         stripe_unit=(stripe_unit if stripe_unit is not None
+                                      else self.default_stripe_unit))
+        from repro.sim import Resource
+        self._tokens: Dict[int, Resource] = {}
+
+    def _token(self, file_id: int):
+        from repro.sim import Resource
+        tok = self._tokens.get(file_id)
+        if tok is None:
+            tok = Resource(self.env, capacity=1)
+            self._tokens[file_id] = tok
+        return tok
+
+    def _transfer(self, handle, offset, nbytes, write, data):
+        if write and handle.file.open_count > 1:
+            with self._token(handle.file.file_id).request() as slot:
+                yield slot
+                yield self.env.timeout(self.token_service_s)
+        yield from super()._transfer(handle, offset, nbytes, write, data)

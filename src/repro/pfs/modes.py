@@ -1,0 +1,188 @@
+"""PFS/PIOFS shared-file I/O modes.
+
+The paper's conclusion singles these out: "both PFS and PIOFS have
+different I/O modes which make the programming for I/O very difficult for
+the user."  The Paragon PFS exposed five; this module implements their
+semantics over the simulated file system so that difficulty (and its
+performance consequences) can be studied directly:
+
+* ``M_UNIX``   — independent file pointers; no coordination.  (What the
+  rest of this package's interfaces already provide.)
+* ``M_LOG``    — one *shared* file pointer; each operation atomically
+  claims the current offset and advances it.  First-come-first-served:
+  arrival order determines file layout, and the pointer is a serialization
+  point (modeled by the PIOFS-style token).
+* ``M_SYNC``   — lockstep collective: every rank must call the operation;
+  ranks are ordered by rank id, so rank r's data lands after ranks
+  0..r-1's contributions of the same call.  Deterministic layout, full
+  barrier per operation.
+* ``M_RECORD`` — fixed-size records, round-robin by rank: rank r's k-th
+  operation touches record ``k·P + r``.  Deterministic *and*
+  synchronization-free, but only for fixed record sizes.
+* ``M_GLOBAL`` — all ranks access the same data: one rank performs the
+  physical I/O and the payload/result is broadcast.
+
+Every operation is a process generator over a
+:class:`~repro.mp.Communicator` plus per-rank
+:class:`~repro.iolib.base.InterfaceFile` handles (all open on the same
+underlying file).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.iolib.base import InterfaceFile
+from repro.mp.comm import Communicator
+from repro.sim import Resource
+
+__all__ = ["IOMode", "SharedModeFile"]
+
+
+class IOMode(enum.Enum):
+    """The Paragon PFS shared-file modes."""
+
+    M_UNIX = "unix"
+    M_LOG = "log"
+    M_SYNC = "sync"
+    M_RECORD = "record"
+    M_GLOBAL = "global"
+
+
+class SharedModeFile:
+    """A shared file driven under one of the PFS I/O modes.
+
+    Construct one per communicator (it holds the shared pointer and
+    rendezvous state); every rank calls :meth:`write` / :meth:`read` with
+    its own open handle on the same file.
+    """
+
+    def __init__(self, comm: Communicator, mode: IOMode,
+                 record_bytes: Optional[int] = None):
+        self.comm = comm
+        self.env = comm.env
+        self.mode = mode
+        if mode is IOMode.M_RECORD:
+            if not record_bytes or record_bytes <= 0:
+                raise ValueError("M_RECORD needs a positive record size")
+        self.record_bytes = record_bytes
+        #: Shared pointer (M_LOG / M_SYNC).
+        self._shared_ptr = 0
+        #: Pointer-token serialization for M_LOG.
+        self._ptr_token = Resource(self.env, capacity=1)
+        #: Per-rank independent pointers (M_UNIX).
+        self._private_ptr: Dict[int, int] = {}
+        #: Per-rank operation counters (M_RECORD).
+        self._op_count: Dict[int, int] = {}
+        #: Rendezvous state for M_SYNC pointer updates.
+        self._sync_waiting = 0
+        self._sync_base = 0
+        #: Pointer-update cost for shared modes (the metadata round-trip).
+        self.pointer_cost_s = 0.0004
+
+    # -- helpers ------------------------------------------------------------
+    def _claim_log_offset(self, nbytes: int):
+        """Process generator: atomically claim [ptr, ptr+nbytes)."""
+        with self._ptr_token.request() as slot:
+            yield slot
+            yield self.env.timeout(self.pointer_cost_s)
+            offset = self._shared_ptr
+            self._shared_ptr += nbytes
+        return offset
+
+    def _sync_offsets(self, rank: int, nbytes: int):
+        """Process generator: lockstep offsets ordered by rank id.
+
+        The first rank to arrive snapshots the shared pointer; the last to
+        leave advances it — so every participant of one collective call
+        computes offsets against the same base regardless of the
+        scheduler's resumption order.
+        """
+        if self._sync_waiting == 0:
+            self._sync_base = self._shared_ptr
+        self._sync_waiting += 1
+        sizes = yield from self.comm.allgather(rank, nbytes, nbytes=8)
+        offset = self._sync_base + sum(sizes[:rank])
+        self._sync_waiting -= 1
+        if self._sync_waiting == 0:
+            self._shared_ptr = self._sync_base + sum(sizes)
+        yield from self.comm.barrier(rank)
+        return offset
+
+    def _record_offset(self, rank: int) -> int:
+        k = self._op_count.get(rank, 0)
+        self._op_count[rank] = k + 1
+        return (k * self.comm.size + rank) * self.record_bytes
+
+    # -- operations -----------------------------------------------------------
+    def write(self, rank: int, handle: InterfaceFile, nbytes: int,
+              data: Optional[bytes] = None):
+        """Process generator: mode-governed write.  Returns the offset the
+        data landed at (or None for non-writing ranks in M_GLOBAL)."""
+        if self.mode is IOMode.M_UNIX:
+            offset = self._private_ptr.get(rank, 0)
+            yield from handle.pwrite(offset, nbytes, data)
+            self._private_ptr[rank] = offset + nbytes
+            return offset
+        if self.mode is IOMode.M_LOG:
+            offset = yield from self._claim_log_offset(nbytes)
+            yield from handle.pwrite(offset, nbytes, data)
+            return offset
+        if self.mode is IOMode.M_SYNC:
+            offset = yield from self._sync_offsets(rank, nbytes)
+            yield from handle.pwrite(offset, nbytes, data)
+            yield from self.comm.barrier(rank)
+            return offset
+        if self.mode is IOMode.M_RECORD:
+            if nbytes > self.record_bytes:
+                raise ValueError("record overflow")
+            offset = self._record_offset(rank)
+            yield from handle.pwrite(offset, nbytes, data)
+            return offset
+        # M_GLOBAL: rank 0 writes once on everyone's behalf.
+        if rank == 0:
+            offset = self._shared_ptr
+            self._shared_ptr += nbytes
+            yield from handle.pwrite(offset, nbytes, data)
+        yield from self.comm.bcast(rank, None, nbytes=32, root=0)
+        return self._shared_ptr - nbytes if rank == 0 else None
+
+    def read(self, rank: int, handle: InterfaceFile, nbytes: int):
+        """Process generator: mode-governed read.  Returns (offset, data)."""
+        if self.mode is IOMode.M_UNIX:
+            offset = self._private_ptr.get(rank, 0)
+            data = yield from handle.pread(offset, nbytes)
+            self._private_ptr[rank] = offset + nbytes
+            return offset, data
+        if self.mode is IOMode.M_LOG:
+            offset = yield from self._claim_log_offset(nbytes)
+            data = yield from handle.pread(offset, nbytes)
+            return offset, data
+        if self.mode is IOMode.M_SYNC:
+            offset = yield from self._sync_offsets(rank, nbytes)
+            data = yield from handle.pread(offset, nbytes)
+            yield from self.comm.barrier(rank)
+            return offset, data
+        if self.mode is IOMode.M_RECORD:
+            if nbytes > self.record_bytes:
+                raise ValueError("record overflow")
+            offset = self._record_offset(rank)
+            data = yield from handle.pread(offset, nbytes)
+            return offset, data
+        # M_GLOBAL: one physical read, broadcast to everyone.  The root
+        # broadcasts (offset, data) so every rank reports the same
+        # authoritative position regardless of scheduling order.
+        if rank == 0:
+            offset = self._shared_ptr
+            data = yield from handle.pread(offset, nbytes)
+            self._shared_ptr += nbytes
+            payload = (offset, data)
+        else:
+            payload = None
+        offset, data = yield from self.comm.bcast(rank, payload,
+                                                  nbytes=nbytes, root=0)
+        return offset, data
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SharedModeFile {self.mode.value} ptr={self._shared_ptr}>"

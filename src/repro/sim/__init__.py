@@ -1,0 +1,55 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free generator-based engine in the SimPy style:
+:class:`Environment` owns the clock and event heap; :class:`Process` wraps a
+generator that yields :class:`Event` objects to wait on; resources model
+queueing points (disk arms, links, buffers).
+
+Example
+-------
+>>> from repro.sim import Environment
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(3.5)
+...     return env.now
+>>> proc = env.process(hello(env))
+>>> env.run(proc)
+3.5
+"""
+
+from repro.sim.core import Environment
+from repro.sim.events import Event, Timeout, AnyOf, AllOf, Condition, PENDING
+from repro.sim.process import Process
+from repro.sim.resources import (
+    Resource,
+    PriorityResource,
+    Request,
+    Store,
+    Container,
+)
+from repro.sim.exceptions import (
+    SimulationError,
+    EmptySchedule,
+    Interrupt,
+    StopProcess,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "AnyOf",
+    "AllOf",
+    "Condition",
+    "PENDING",
+    "Process",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Store",
+    "Container",
+    "SimulationError",
+    "EmptySchedule",
+    "Interrupt",
+    "StopProcess",
+]

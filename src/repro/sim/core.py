@@ -1,0 +1,133 @@
+"""The simulation environment: clock, event heap, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Timeout, AnyOf, AllOf, NORMAL
+from repro.sim.exceptions import EmptySchedule
+from repro.sim.process import Process
+
+__all__ = ["Environment"]
+
+#: Sort key layout for heap entries: (time, priority, sequence, event)
+_HeapEntry = Tuple[float, int, int, Event]
+
+
+class Environment:
+    """Discrete-event simulation environment.
+
+    Time is a float in **seconds** throughout this project.  All state —
+    the clock, the pending-event heap and the active process — lives here;
+    one Environment is one independent simulated machine run.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[_HeapEntry] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock & introspection ---------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing (None between events)."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events) -> Event:
+        """Event that fires when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> Event:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Queue ``event`` for processing ``delay`` seconds from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`EmptySchedule` when nothing is queued.  If a *failed*
+        event was never defused (nobody waited on it), its exception is
+        re-raised here so errors cannot vanish silently.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (or raising its exception).
+        """
+        if until is None:
+            try:
+                while True:
+                    self.step()
+            except EmptySchedule:
+                return None
+
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                try:
+                    self.step()
+                except EmptySchedule:
+                    raise RuntimeError(
+                        f"simulation ran dry before {stop!r} fired") from None
+            if stop._ok:
+                return stop._value
+            raise stop._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

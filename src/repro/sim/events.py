@@ -1,0 +1,194 @@
+"""Event primitives for the discrete-event engine.
+
+The design follows the classic generator-based discrete-event style
+(SimPy lineage): an :class:`Event` is a one-shot object that is *triggered*
+with either a value (``succeed``) or an exception (``fail``); callbacks run
+when the environment processes the event.  Processes (see
+:mod:`repro.sim.process`) yield events to wait on them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+__all__ = ["PENDING", "Event", "Timeout", "AnyOf", "AllOf", "Condition"]
+
+
+class _Pending:
+    """Sentinel for the value of an event that has not been triggered."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+#: Scheduling priorities.  Lower values are processed first at equal times.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    env:
+        The owning :class:`~repro.sim.core.Environment`.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env):
+        self.env = env
+        #: Callables invoked with this event once it is processed.
+        self.callbacks: Optional[List[Callable[[Event], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused: bool = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or will be) scheduled."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exception`` thrown into them.  If no
+        process ever waits on a failed event, the environment re-raises the
+        exception at processing time unless the event is *defused*.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self, NORMAL)
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled so the environment won't re-raise."""
+        self._defused = True
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+    # -- composition ------------------------------------------------------
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env, delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Timeout delay={self.delay}>"
+
+
+class Condition(Event):
+    """Composite event over a list of child events.
+
+    The ``evaluate`` callable decides when the condition is met: it gets the
+    list of children and the count of processed children and returns a bool.
+    The condition's value is a dict mapping each *triggered* child event to
+    its value at the time the condition fired.
+    """
+
+    __slots__ = ("_events", "_count", "_evaluate")
+
+    def __init__(self, env, evaluate, events):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        self._evaluate = evaluate
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict:
+        # Only *processed* children count: a Timeout carries its value from
+        # birth, but it hasn't "happened" until the queue processes it.
+        return {e: e._value for e in self._events if e.processed}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+def AllOf(env, events) -> Condition:
+    """Condition met once *all* child events have been processed."""
+    return Condition(env, lambda events, count: count == len(events), events)
+
+
+def AnyOf(env, events) -> Condition:
+    """Condition met once *any* child event has been processed."""
+    return Condition(env, lambda events, count: count >= 1, events)

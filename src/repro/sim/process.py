@@ -1,0 +1,147 @@
+"""Generator-based simulated processes."""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.events import Event, PENDING, NORMAL, URGENT
+from repro.sim.exceptions import Interrupt, StopProcess
+
+__all__ = ["Process", "Initialize"]
+
+
+class Initialize(Event):
+    """Internal event that starts a newly created process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, env, process: "Process"):
+        super().__init__(env)
+        self.process = process
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env.schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running generator inside the simulation.
+
+    A process *is* an event: it triggers when the generator returns (with
+    the return value) or raises (with the exception).  Processes wait on
+    events by yielding them::
+
+        def worker(env):
+            yield env.timeout(5)
+            return "done"
+
+        env.process(worker(env))
+
+    Use :meth:`interrupt` to throw an :class:`Interrupt` into the process
+    at its current wait point.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env, generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when running
+        #: or finished).
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, URGENT)
+
+    # -- engine plumbing ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_process = self
+        while True:
+            # Detach from the old target: if an interrupt arrived while we
+            # waited, the original target may still fire later; it must not
+            # resume us twice.
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waited-on event failed; propagate into the process.
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self, NORMAL)
+                break
+            except StopProcess as exc:
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self, NORMAL)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env.schedule(self, NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                exc = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}")
+                try:
+                    self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._ok = True
+                    self._value = stop.value
+                    env.schedule(self, NORMAL)
+                    break
+                except BaseException as err:
+                    self._ok = False
+                    self._value = err
+                    env.schedule(self, NORMAL)
+                    break
+                continue
+
+            if next_event.callbacks is not None:
+                # Event still pending or triggered-but-unprocessed: wait.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: loop immediately with its outcome.
+            event = next_event
+
+        env._active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name} ({state})>"

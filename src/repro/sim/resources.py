@@ -1,0 +1,309 @@
+"""Shared-resource primitives: counted resources, stores, containers.
+
+These model the queueing points of the machine: an I/O node's disk arm is
+a ``Resource(capacity=1)``, a network link is a ``Resource`` with a service
+process, a bounded memory buffer is a ``Container``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.events import Event
+from repro.sim.exceptions import SimulationError
+
+__all__ = ["Request", "Release", "Resource", "PriorityRequest",
+           "PriorityResource", "Store", "Container"]
+
+
+class Request(Event):
+    """Pending claim on a :class:`Resource`.
+
+    Usable as a context manager so the slot is released on exit::
+
+        with resource.request() as req:
+            yield req
+            ... hold the resource ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        if not self.triggered:
+            try:
+                self.resource._waiting.remove(self)
+            except ValueError:
+                pass
+
+
+class Release(Event):
+    """Immediate-success event returned by :meth:`Resource.release`."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, env, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires once the slot is granted."""
+        return Request(self)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+
+    def release(self, req: Request) -> Release:
+        """Release a previously granted slot.
+
+        Releasing an ungranted (still waiting) request simply cancels it.
+        """
+        if req in self._users:
+            self._users.remove(req)
+            self._grant_next()
+        else:
+            req.cancel()
+        ev = Release(self.env)
+        ev.succeed()
+        return ev
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityRequest(Request):
+    """Request with a priority; lower values are served first (FIFO ties)."""
+
+    __slots__ = ("priority", "_seq")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0):
+        self.priority = priority
+        self._seq = resource._next_seq()
+        super().__init__(resource)
+
+    def sort_key(self):
+        return (self.priority, self._seq)
+
+
+class PriorityResource(Resource):
+    """Resource whose wait queue is ordered by request priority."""
+
+    def __init__(self, env, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, req: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+            # Keep the deque ordered by (priority, arrival).
+            self._waiting = deque(sorted(
+                self._waiting,
+                key=lambda r: r.sort_key() if isinstance(r, PriorityRequest)
+                else (0, 0)))
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._do_put(self)
+
+
+class StoreGet(Event):
+    __slots__ = ()
+
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        store._do_get(self)
+
+
+class Store:
+    """FIFO buffer of Python objects with optional bounded capacity.
+
+    ``put`` blocks (returns a pending event) when the store is full;
+    ``get`` blocks when it is empty.
+    """
+
+    def __init__(self, env, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def put(self, item: Any) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        return StoreGet(self)
+
+    def _do_put(self, ev: StorePut) -> None:
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(ev.item)
+            ev.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(ev.item)
+            ev.succeed()
+        else:
+            self._putters.append(ev)
+
+    def _do_get(self, ev: StoreGet) -> None:
+        if self.items:
+            ev.succeed(self.items.popleft())
+            self._drain_putters()
+        elif self._putters:
+            putter = self._putters.popleft()
+            ev.succeed(putter.item)
+            putter.succeed()
+        else:
+            self._getters.append(ev)
+
+    def _drain_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            putter = self._putters.popleft()
+            self.items.append(putter.item)
+            putter.succeed()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._do_put(self)
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float):
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._do_get(self)
+
+
+class Container:
+    """A homogeneous quantity (e.g. bytes of buffer memory).
+
+    ``get`` blocks until the requested amount is available; ``put`` blocks
+    while it would exceed capacity.
+    """
+
+    def __init__(self, env, capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init out of range")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._putters: Deque[ContainerPut] = deque()
+        self._getters: Deque[ContainerGet] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def _do_put(self, ev: ContainerPut) -> None:
+        if ev.amount > self.capacity:
+            ev.fail(SimulationError(
+                f"put of {ev.amount} exceeds capacity {self.capacity}"))
+            return
+        if self._level + ev.amount <= self.capacity:
+            self._level += ev.amount
+            ev.succeed()
+            self._drain_getters()
+        else:
+            self._putters.append(ev)
+
+    def _do_get(self, ev: ContainerGet) -> None:
+        if ev.amount > self.capacity:
+            ev.fail(SimulationError(
+                f"get of {ev.amount} exceeds capacity {self.capacity}"))
+            return
+        if ev.amount <= self._level:
+            self._level -= ev.amount
+            ev.succeed()
+            self._drain_putters()
+        else:
+            self._getters.append(ev)
+
+    def _drain_getters(self) -> None:
+        while self._getters and self._getters[0].amount <= self._level:
+            getter = self._getters.popleft()
+            self._level -= getter.amount
+            getter.succeed()
+
+    def _drain_putters(self) -> None:
+        while (self._putters
+               and self._level + self._putters[0].amount <= self.capacity):
+            putter = self._putters.popleft()
+            self._level += putter.amount
+            putter.succeed()
+            self._drain_getters()

@@ -1,0 +1,86 @@
+"""Trace export: CSV and JSON serializations of collected traces.
+
+Pablo persisted its instrumentation in SDDF files for offline analysis;
+the modern equivalents are a flat CSV of records (for spreadsheets/pandas)
+and a JSON document carrying both the aggregates and, optionally, the full
+record list.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Optional
+
+from repro.trace.collector import TraceCollector
+from repro.trace.events import IOOp
+
+__all__ = ["records_to_csv", "trace_to_json", "write_csv", "write_json"]
+
+_CSV_FIELDS = ["op", "rank", "start", "duration", "end", "nbytes", "file"]
+
+
+def records_to_csv(trace: TraceCollector) -> str:
+    """Render the full record list as CSV (needs ``keep_records=True``)."""
+    if not trace.keep_records:
+        raise ValueError("CSV export needs a TraceCollector(keep_records"
+                         "=True)")
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_CSV_FIELDS)
+    writer.writeheader()
+    for r in trace.records:
+        writer.writerow({
+            "op": str(r.op), "rank": r.rank, "start": repr(r.start),
+            "duration": repr(r.duration), "end": repr(r.end),
+            "nbytes": r.nbytes, "file": r.file or "",
+        })
+    return buf.getvalue()
+
+
+def trace_to_json(trace: TraceCollector, exec_time: Optional[float] = None,
+                  include_records: bool = False) -> str:
+    """Serialize aggregates (and optionally records) to a JSON document."""
+    doc = {
+        "totals": {
+            "operations": trace.total_count,
+            "bytes": trace.total_bytes,
+            "time_s": trace.total_time,
+        },
+        "per_op": {
+            str(op): {
+                "count": trace.aggregate(op).count,
+                "time_s": trace.aggregate(op).time,
+                "bytes": trace.aggregate(op).nbytes,
+            }
+            for op in IOOp if trace.aggregate(op).count
+        },
+    }
+    if exec_time is not None:
+        doc["exec_time_s"] = exec_time
+        doc["io_fraction"] = (trace.total_time / exec_time
+                              if exec_time > 0 else 0.0)
+    if include_records:
+        if not trace.keep_records:
+            raise ValueError("record export needs keep_records=True")
+        doc["records"] = [
+            {"op": str(r.op), "rank": r.rank, "start": r.start,
+             "duration": r.duration, "nbytes": r.nbytes, "file": r.file}
+            for r in trace.records
+        ]
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def write_csv(trace: TraceCollector, path: str) -> None:
+    """Write :func:`records_to_csv` output to ``path``."""
+    with open(path, "w", newline="") as fh:
+        fh.write(records_to_csv(trace))
+
+
+def write_json(trace: TraceCollector, path: str,
+               exec_time: Optional[float] = None,
+               include_records: bool = False) -> None:
+    """Write :func:`trace_to_json` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(trace_to_json(trace, exec_time=exec_time,
+                               include_records=include_records))

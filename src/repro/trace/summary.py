@@ -1,0 +1,96 @@
+"""I/O summaries in the layout of the paper's Tables 2 and 3."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.trace.collector import TraceCollector
+from repro.trace.events import IOOp
+
+__all__ = ["SummaryRow", "IOSummary", "summarize"]
+
+_GB = 1024 ** 3
+
+#: Row order used by the paper.
+_ROW_ORDER = [IOOp.OPEN, IOOp.READ, IOOp.SEEK, IOOp.WRITE, IOOp.FLUSH,
+              IOOp.CLOSE]
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """One row of a Table-2/3-style summary."""
+
+    op: str
+    count: int
+    time_s: float
+    volume_gb: Optional[float]
+    pct_io_time: float
+    pct_exec_time: float
+
+
+class IOSummary:
+    """Structured Table 2/3 equivalent: per-op rows plus an All-I/O row."""
+
+    def __init__(self, rows: List[SummaryRow], all_row: SummaryRow,
+                 exec_time: float):
+        self.rows = rows
+        self.all = all_row
+        self.exec_time = exec_time
+
+    def row(self, op: IOOp) -> SummaryRow:
+        name = str(op)
+        for r in self.rows:
+            if r.op == name:
+                return r
+        raise KeyError(name)
+
+    def to_text(self, title: str = "I/O Summary") -> str:
+        """Render as a fixed-width table mirroring the paper's layout."""
+        lines = [title]
+        header = (f"{'Oper':8s} {'Count':>12s} {'I/O Time(s)':>14s} "
+                  f"{'Vol(GB)':>9s} {'% of I/O':>9s} {'% of exec':>10s}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for r in self.rows + [self.all]:
+            vol = f"{r.volume_gb:9.2f}" if r.volume_gb is not None else " " * 9
+            lines.append(
+                f"{r.op:8s} {r.count:12,d} {r.time_s:14,.2f} {vol} "
+                f"{r.pct_io_time:8.2f} {r.pct_exec_time:9.2f}")
+        return "\n".join(lines)
+
+
+def summarize(trace: TraceCollector, exec_time: float,
+              volume_ops=(IOOp.READ, IOOp.WRITE)) -> IOSummary:
+    """Build a Table-2/3-style summary from a trace.
+
+    ``exec_time`` is the application's total execution time (for the
+    "% of exec time" column).  Volume is reported only for the data-moving
+    operations, as in the paper.
+    """
+    if exec_time <= 0:
+        raise ValueError("exec_time must be positive")
+    total_io_time = sum(trace.aggregate(op).time for op in _ROW_ORDER)
+    rows: List[SummaryRow] = []
+    for op in _ROW_ORDER:
+        agg = trace.aggregate(op)
+        vol = agg.nbytes / _GB if op in volume_ops else None
+        rows.append(SummaryRow(
+            op=str(op),
+            count=agg.count,
+            time_s=agg.time,
+            volume_gb=vol,
+            pct_io_time=(100.0 * agg.time / total_io_time
+                         if total_io_time else 0.0),
+            pct_exec_time=100.0 * agg.time / exec_time,
+        ))
+    total_vol = sum(trace.aggregate(op).nbytes for op in volume_ops) / _GB
+    all_row = SummaryRow(
+        op="All I/O",
+        count=sum(r.count for r in rows),
+        time_s=total_io_time,
+        volume_gb=total_vol,
+        pct_io_time=100.0 if total_io_time else 0.0,
+        pct_exec_time=100.0 * total_io_time / exec_time,
+    )
+    return IOSummary(rows, all_row, exec_time)

@@ -1,0 +1,138 @@
+"""Time-binned I/O activity views (Pablo's timeline displays).
+
+A :class:`Timeline` folds trace records into fixed-width time bins,
+yielding bandwidth-over-time and operation-rate-over-time profiles — the
+visual Pablo gave its users, and the easiest way to see an application's
+I/O phases (SCF's write pass vs read passes, BTIO's dump spikes).
+Requires a collector built with ``keep_records=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.trace.collector import TraceCollector
+from repro.trace.events import IOOp, TraceRecord
+
+__all__ = ["TimeBin", "Timeline", "build_timeline"]
+
+
+@dataclass
+class TimeBin:
+    """Aggregate I/O activity within one [start, start+width) window."""
+
+    start: float
+    width: float
+    ops: int = 0
+    bytes_moved: int = 0
+    busy_time: float = 0.0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.width
+
+    @property
+    def bandwidth(self) -> float:
+        """Bytes per second of wall time within the bin."""
+        return self.bytes_moved / self.width if self.width > 0 else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Mean number of concurrently outstanding operations."""
+        return self.busy_time / self.width if self.width > 0 else 0.0
+
+
+class Timeline:
+    """A sequence of equal-width bins over a trace's time span."""
+
+    def __init__(self, bins: List[TimeBin], ops: Sequence[IOOp]):
+        self.bins = bins
+        self.ops = tuple(ops)
+
+    def __len__(self) -> int:
+        return len(self.bins)
+
+    def __iter__(self):
+        return iter(self.bins)
+
+    @property
+    def span(self) -> float:
+        if not self.bins:
+            return 0.0
+        return self.bins[-1].end - self.bins[0].start
+
+    def peak_bandwidth(self) -> float:
+        return max((b.bandwidth for b in self.bins), default=0.0)
+
+    def mean_bandwidth(self) -> float:
+        if not self.bins or self.span == 0:
+            return 0.0
+        return sum(b.bytes_moved for b in self.bins) / self.span
+
+    def burstiness(self) -> float:
+        """Peak/mean bandwidth — 1.0 is steady, large is phase-y."""
+        mean = self.mean_bandwidth()
+        return self.peak_bandwidth() / mean if mean > 0 else 0.0
+
+    def active_fraction(self) -> float:
+        """Fraction of bins with any I/O at all."""
+        if not self.bins:
+            return 0.0
+        return sum(1 for b in self.bins if b.ops) / len(self.bins)
+
+    def to_text(self, width: int = 60, title: str = "I/O timeline") -> str:
+        """A bar-per-bin sparkline of bandwidth over time."""
+        if not self.bins:
+            return f"{title}: (empty)"
+        peak = self.peak_bandwidth()
+        lines = [f"{title} (peak {peak / 2**20:.2f} MB/s, "
+                 f"mean {self.mean_bandwidth() / 2**20:.2f} MB/s)"]
+        blocks = " .:-=+*#%@"
+        row = []
+        for b in self.bins[:width]:
+            level = 0 if peak == 0 else int(
+                (len(blocks) - 1) * b.bandwidth / peak)
+            row.append(blocks[level])
+        lines.append("  |" + "".join(row) + "|")
+        lines.append(f"  t=[{self.bins[0].start:.2f}s .. "
+                     f"{self.bins[min(len(self.bins), width) - 1].end:.2f}s]")
+        return "\n".join(lines)
+
+
+def build_timeline(trace: TraceCollector, n_bins: int = 60,
+                   ops: Optional[Sequence[IOOp]] = None,
+                   horizon: Optional[float] = None) -> Timeline:
+    """Bin a record-keeping trace into ``n_bins`` equal windows.
+
+    A record's duration is spread across the bins it overlaps, so long
+    contended operations show up as sustained (not spiky) activity;
+    bytes are attributed proportionally to overlap.
+    """
+    if not trace.keep_records:
+        raise ValueError("timeline needs a TraceCollector(keep_records=True)")
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    wanted = tuple(ops) if ops is not None else (IOOp.READ, IOOp.WRITE)
+    records: List[TraceRecord] = [r for r in trace.records
+                                  if r.op in wanted]
+    if not records:
+        return Timeline([], wanted)
+    end = horizon if horizon is not None else max(r.end for r in records)
+    start = 0.0
+    width = max((end - start) / n_bins, 1e-12)
+    bins = [TimeBin(start + k * width, width) for k in range(n_bins)]
+    for r in records:
+        lo = max(0, min(n_bins - 1, int((r.start - start) / width)))
+        hi = max(0, min(n_bins - 1, int((max(r.end, r.start) - start)
+                                        / width)))
+        span = max(r.duration, 1e-12)
+        for k in range(lo, hi + 1):
+            b = bins[k]
+            overlap = min(r.end, b.end) - max(r.start, b.start)
+            overlap = max(0.0, min(overlap, span))
+            frac = overlap / span
+            b.bytes_moved += int(r.nbytes * frac)
+            b.busy_time += overlap
+        bins[lo].ops += 1
+    return Timeline(bins, wanted)

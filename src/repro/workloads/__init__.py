@@ -1,0 +1,21 @@
+"""Declarative synthetic workloads for custom I/O studies."""
+
+from repro.workloads.synthetic import (
+    BarrierPhase,
+    ComputePhase,
+    Phase,
+    ReadPhase,
+    Repeat,
+    SyntheticWorkload,
+    WritePhase,
+)
+
+__all__ = [
+    "BarrierPhase",
+    "ComputePhase",
+    "Phase",
+    "ReadPhase",
+    "Repeat",
+    "SyntheticWorkload",
+    "WritePhase",
+]

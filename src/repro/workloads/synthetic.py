@@ -1,0 +1,229 @@
+"""Declarative synthetic workloads: compose phases, run, measure.
+
+The five paper applications are hand-built rank programs; this module
+lets a downstream user assemble *new* I/O-intensive workloads from the
+same vocabulary without writing generator code:
+
+>>> from repro.workloads import (SyntheticWorkload, ComputePhase,
+...                              WritePhase, ReadPhase, Repeat)
+>>> wl = SyntheticWorkload("checkpointer", [
+...     Repeat(3, [
+...         ComputePhase(flops_per_rank=2e8),
+...         WritePhase(file="ckpt", bytes_per_rank=1 << 20,
+...                    chunk_bytes=64 << 10, pattern="strided",
+...                    collective=True),
+...     ]),
+...     ReadPhase(file="ckpt", bytes_per_rank=1 << 20,
+...               chunk_bytes=64 << 10),
+... ])
+
+``wl.run(machine_config, n_procs)`` returns the usual
+:class:`~repro.apps.base.AppResult`, so synthetic workloads plug directly
+into the analysis, planner and reporting machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Sequence, Union
+
+from repro.apps.base import AppResult
+from repro.iolib import IORequest, PassionIO, TwoPhaseIO, UnixIO
+from repro.iolib.base import IOInterface
+from repro.machine.machine import Machine, MachineConfig
+from repro.mp.comm import Communicator
+from repro.trace import TraceCollector
+
+__all__ = ["ComputePhase", "WritePhase", "ReadPhase", "BarrierPhase",
+           "Repeat", "SyntheticWorkload", "Phase"]
+
+Pattern = Literal["contiguous", "strided"]
+
+
+@dataclass(frozen=True)
+class ComputePhase:
+    """Every rank computes ``flops_per_rank`` flops."""
+
+    flops_per_rank: float
+
+    def __post_init__(self):
+        if self.flops_per_rank < 0:
+            raise ValueError("flops must be non-negative")
+
+
+@dataclass(frozen=True)
+class _IOPhaseBase:
+    """Common fields of read/write phases."""
+
+    file: str
+    bytes_per_rank: int
+    chunk_bytes: int
+    #: "contiguous": each rank owns one dense region.  "strided": ranks'
+    #: chunks interleave round-robin (the BTIO/AST pattern).
+    pattern: Pattern = "contiguous"
+    #: Route through two-phase collective I/O instead of per-chunk calls.
+    collective: bool = False
+    #: File offset where this phase's region begins.
+    base_offset: int = 0
+
+    def __post_init__(self):
+        if self.bytes_per_rank <= 0 or self.chunk_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        if self.pattern not in ("contiguous", "strided"):
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+
+    def requests(self, rank: int, n_ranks: int) -> List[IORequest]:
+        """This rank's (offset, nbytes) pieces for the phase."""
+        out: List[IORequest] = []
+        n_chunks = -(-self.bytes_per_rank // self.chunk_bytes)
+        remaining = self.bytes_per_rank
+        for k in range(n_chunks):
+            nbytes = min(self.chunk_bytes, remaining)
+            remaining -= nbytes
+            if self.pattern == "contiguous":
+                offset = (self.base_offset + rank * self.bytes_per_rank
+                          + k * self.chunk_bytes)
+            else:
+                offset = (self.base_offset
+                          + (k * n_ranks + rank) * self.chunk_bytes)
+            out.append(IORequest(offset, nbytes))
+        return out
+
+
+@dataclass(frozen=True)
+class WritePhase(_IOPhaseBase):
+    """Every rank writes its pieces of ``file``."""
+
+
+@dataclass(frozen=True)
+class ReadPhase(_IOPhaseBase):
+    """Every rank reads its pieces of ``file``."""
+
+
+@dataclass(frozen=True)
+class BarrierPhase:
+    """Explicit synchronization point."""
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """Run the inner phase list ``times`` times."""
+
+    times: int
+    phases: Sequence["Phase"]
+
+    def __post_init__(self):
+        if self.times <= 0:
+            raise ValueError("times must be positive")
+
+
+Phase = Union[ComputePhase, WritePhase, ReadPhase, BarrierPhase, Repeat]
+
+
+class SyntheticWorkload:
+    """A named sequence of phases runnable on any machine preset."""
+
+    def __init__(self, name: str, phases: Sequence[Phase]):
+        if not phases:
+            raise ValueError("a workload needs at least one phase")
+        self.name = name
+        self.phases = list(phases)
+
+    # -- execution ------------------------------------------------------------
+    def _run_phase(self, phase, rank, comm, files, interface, twophase,
+                   timed):
+        if isinstance(phase, Repeat):
+            for _ in range(phase.times):
+                for inner in phase.phases:
+                    yield from self._run_phase(inner, rank, comm, files,
+                                               interface, twophase, timed)
+            return
+        if isinstance(phase, ComputePhase):
+            node = comm.machine.compute_node(comm.node_of(rank))
+            yield from node.compute(phase.flops_per_rank)
+            return
+        if isinstance(phase, BarrierPhase):
+            yield from comm.barrier(rank)
+            return
+        # I/O phases.
+        if phase.file not in files:
+            files[phase.file] = yield from timed(
+                interface.open(rank, phase.file, create=True))
+        f = files[phase.file]
+        reqs = phase.requests(rank, comm.size)
+        write = isinstance(phase, WritePhase)
+        if phase.collective:
+            if write:
+                yield from timed(twophase.collective_write(rank, f, reqs))
+            else:
+                yield from timed(twophase.collective_read(rank, f, reqs))
+        else:
+            for req in reqs:
+                if write:
+                    yield from timed(f.pwrite(req.offset, req.nbytes))
+                else:
+                    yield from timed(f.pread(req.offset, req.nbytes))
+        yield from comm.barrier(rank)
+
+    def _rank_program(self, rank, comm, interface, twophase, io_times):
+        env = comm.env
+        files: Dict[str, object] = {}
+        io_t = 0.0
+
+        def timed(gen):
+            nonlocal io_t
+            t0 = env.now
+            result = yield from gen
+            io_t += env.now - t0
+            return result
+
+        for phase in self.phases:
+            yield from self._run_phase(phase, rank, comm, files, interface,
+                                       twophase, timed)
+        for f in files.values():
+            yield from timed(f.close())
+        io_times[rank] = io_t
+        return io_t
+
+    def run(self, machine_config: MachineConfig, n_procs: int,
+            interface_cls: type = PassionIO,
+            keep_trace_records: bool = False) -> AppResult:
+        """Execute the workload on a fresh machine."""
+        from repro.pfs import PFS, PIOFS
+
+        machine = Machine(machine_config)
+        fs_cls = PIOFS if machine_config.topology == "switch" else PFS
+        fs = fs_cls(machine)
+        trace = TraceCollector(keep_records=keep_trace_records)
+        interface: IOInterface = interface_cls(fs, trace=trace)
+        comm = Communicator(machine, n_procs)
+        twophase = TwoPhaseIO(comm)
+        io_times: Dict[int, float] = {}
+        procs = comm.spawn(self._rank_program, interface, twophase, io_times)
+        machine.env.run(machine.env.all_of(procs))
+        return AppResult(
+            app=f"synthetic:{self.name}",
+            version=interface.name,
+            n_procs=n_procs,
+            n_io=machine_config.n_io,
+            exec_time=machine.env.now,
+            io_time_per_rank=io_times,
+            trace=trace,
+            extra={"total_bytes": float(self.total_bytes(n_procs))},
+        )
+
+    # -- introspection ----------------------------------------------------------
+    def total_bytes(self, n_procs: int) -> int:
+        """Bytes the workload moves (all ranks, all repetitions)."""
+        def walk(phases, mult):
+            total = 0
+            for phase in phases:
+                if isinstance(phase, Repeat):
+                    total += walk(phase.phases, mult * phase.times)
+                elif isinstance(phase, (WritePhase, ReadPhase)):
+                    total += mult * phase.bytes_per_rank * n_procs
+            return total
+        return walk(self.phases, 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SyntheticWorkload {self.name!r} phases={len(self.phases)}>"

@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import Machine, MachineConfig, paragon_small
+from repro.pfs import PFS
+
+
+@pytest.fixture
+def env():
+    from repro.sim import Environment
+    return Environment()
+
+
+@pytest.fixture
+def small_machine():
+    """A 4-compute / 2-I/O-node Paragon."""
+    return Machine(paragon_small(n_compute=4, n_io=2))
+
+
+@pytest.fixture
+def functional_fs(small_machine):
+    """A PFS with real data backing on the small machine."""
+    return PFS(small_machine, functional=True)
+
+
+def run_proc(machine_or_env, gen, name=None):
+    """Run a single generator process to completion, returning its value."""
+    env = getattr(machine_or_env, "env", machine_or_env)
+    proc = env.process(gen, name=name)
+    return env.run(proc)
+
+
+def run_procs(machine_or_env, gens):
+    """Run several generator processes to completion; returns their values."""
+    env = getattr(machine_or_env, "env", machine_or_env)
+    procs = [env.process(g) for g in gens]
+    env.run(env.all_of(procs))
+    return [p.value for p in procs]

@@ -1,0 +1,157 @@
+"""Tests for the compiler-style layout advisor."""
+
+import pytest
+
+from repro.advisor import (
+    AffineExpr,
+    ArrayRef,
+    Loop,
+    LoopNest,
+    analyze_ref,
+    choose_layouts,
+)
+from repro.iolib.passion.oocarray import Layout
+
+I = AffineExpr.var("i")
+J = AffineExpr.var("j")
+ZERO = AffineExpr.const_(0)
+
+
+def nest(refs, loops=None, weight=1.0):
+    loops = loops or [Loop("j", 64), Loop("i", 64)]
+    return LoopNest(loops=loops, refs=refs, weight=weight)
+
+
+class TestAffineExpr:
+    def test_var_and_const(self):
+        assert I.coeff("i") == 1
+        assert I.coeff("j") == 0
+        assert AffineExpr.const_(5).const == 5
+
+    def test_zero_coefficients_normalized(self):
+        e = AffineExpr({"i": 0, "j": 2})
+        assert e.variables == ["j"]
+        assert not e.depends_on("i")
+
+    def test_str(self):
+        assert str(AffineExpr({"i": 2}, 3)) == "2i + 3"
+        assert str(ZERO) == "0"
+
+
+class TestLoopNest:
+    def test_innermost_and_iterations(self):
+        n = nest([], loops=[Loop("j", 4), Loop("i", 8)])
+        assert n.innermost.var == "i"
+        assert n.total_iterations == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoopNest(loops=[], refs=[])
+        with pytest.raises(ValueError):
+            LoopNest(loops=[Loop("i", 2), Loop("i", 3)], refs=[])
+        with pytest.raises(ValueError):
+            Loop("i", 0)
+
+
+class TestAnalyzeRef:
+    def test_column_traversal_prefers_column_major(self):
+        # A[i, j] with i innermost: walks down a column.
+        n = nest([ArrayRef("A", I, J)])
+        rc = analyze_ref(n, n.refs[0])
+        assert rc.column_major < rc.row_major
+        assert rc.column_major == 64          # one request per j
+        assert rc.row_major == 64 * 64        # one per element
+
+    def test_row_traversal_prefers_row_major(self):
+        n = nest([ArrayRef("A", J, I)])       # A[j, i], i innermost
+        rc = analyze_ref(n, n.refs[0])
+        assert rc.row_major < rc.column_major
+
+    def test_loop_invariant_ref_costs_equally(self):
+        n = nest([ArrayRef("A", J, ZERO)])    # no i dependence
+        rc = analyze_ref(n, n.refs[0])
+        assert rc.column_major == rc.row_major == 64
+
+    def test_non_unit_stride_is_strided_both_ways(self):
+        n = nest([ArrayRef("A", AffineExpr({"i": 2}), J)])
+        rc = analyze_ref(n, n.refs[0])
+        assert rc.column_major == rc.row_major == 64 * 64
+
+    def test_coupled_subscripts_strided_both_ways(self):
+        n = nest([ArrayRef("A", I, I)])       # diagonal walk
+        rc = analyze_ref(n, n.refs[0])
+        assert rc.column_major == rc.row_major == 64 * 64
+
+
+class TestChooseLayouts:
+    def test_paper_transpose_scenario(self):
+        """The FFT transpose: read A down columns, write B down rows.
+
+        B[j, i] = A[i, j] with i innermost: A wants column-major, B wants
+        row-major — exactly the paper's §4.4 optimization.
+        """
+        transpose = nest([
+            ArrayRef("A", I, J),
+            ArrayRef("B", J, I, is_write=True),
+        ])
+        plan = choose_layouts([transpose])
+        assert plan.layout_of("A") is Layout.COLUMN_MAJOR
+        assert plan.layout_of("B") is Layout.ROW_MAJOR
+        assert plan.costs["B"].improvement > 10
+
+    def test_ties_break_to_column_major(self):
+        n = nest([ArrayRef("A", J, ZERO)])    # invariant: tie
+        plan = choose_layouts([n])
+        assert plan.layout_of("A") is Layout.COLUMN_MAJOR
+
+    def test_weights_shift_the_decision(self):
+        col_friendly = nest([ArrayRef("A", I, J)], weight=1.0)
+        row_friendly = nest([ArrayRef("A", J, I)], weight=10.0)
+        plan = choose_layouts([col_friendly, row_friendly])
+        assert plan.layout_of("A") is Layout.ROW_MAJOR
+        plan2 = choose_layouts([
+            nest([ArrayRef("A", I, J)], weight=10.0),
+            nest([ArrayRef("A", J, I)], weight=1.0),
+        ])
+        assert plan2.layout_of("A") is Layout.COLUMN_MAJOR
+
+    def test_multiple_arrays_independent(self):
+        n = nest([ArrayRef("A", I, J), ArrayRef("B", J, I),
+                  ArrayRef("C", J, ZERO)])
+        plan = choose_layouts([n])
+        assert set(plan.layouts) == {"A", "B", "C"}
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            choose_layouts([])
+
+    def test_to_text_mentions_every_array(self):
+        plan = choose_layouts([nest([ArrayRef("A", I, J),
+                                     ArrayRef("B", J, I)])])
+        text = plan.to_text()
+        assert "A: column-major" in text
+        assert "B: row-major" in text
+
+    def test_advised_layout_matches_measured_fft_winner(self):
+        """Close the loop: the advisor's choice for the FFT's files equals
+        the layout that measures faster in the simulator."""
+        from repro.apps.fft2d import FFTConfig, run_fft
+        from repro.machine import paragon_small
+
+        n_elem = 64
+        steps = [
+            # step 1: FFT columns of A (read+write A down columns)
+            nest([ArrayRef("A", I, J), ArrayRef("A", I, J, is_write=True)]),
+            # step 2: transpose A -> B
+            nest([ArrayRef("A", I, J), ArrayRef("B", J, I, is_write=True)]),
+            # step 3: second pass over B along its rows
+            nest([ArrayRef("B", J, I), ArrayRef("B", J, I, is_write=True)]),
+        ]
+        plan = choose_layouts(steps)
+        assert plan.layout_of("B") is Layout.ROW_MAJOR  # = "layout" version
+        kw = dict(n=1024, panel_memory_bytes=256 * 1024)
+        t_col = run_fft(paragon_small(4, 2),
+                        FFTConfig(version="unoptimized", **kw), 4).io_time
+        t_row = run_fft(paragon_small(4, 2),
+                        FFTConfig(version="layout", **kw), 4).io_time
+        assert t_row < t_col

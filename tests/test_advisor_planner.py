@@ -1,0 +1,158 @@
+"""Tests for the optimization-sequence planner, including the closing
+loop: fed the five applications' own measured profiles, it re-derives
+Table 5's tick-marks."""
+
+import pytest
+
+from repro.advisor import OptimizationPlanner, Recommendation, \
+    WorkloadProfile
+from repro.machine import paragon_large, paragon_small, sp2
+
+
+def profile(**kw):
+    base = dict(app="x", n_ranks=16, mean_request_bytes=1024,
+                total_requests=100_000, io_fraction=0.5,
+                rank_io_imbalance=1.0)
+    base.update(kw)
+    return WorkloadProfile(**base)
+
+
+class TestRules:
+    planner = OptimizationPlanner()
+
+    def test_negligible_io_gets_no_plan(self):
+        assert self.planner.plan(profile(io_fraction=0.05)) == []
+
+    def test_small_shared_requests_trigger_collective_first(self):
+        recs = self.planner.plan(profile(shared_file=True,
+                                         interface="unix"))
+        assert recs[0].technique == "collective I/O"
+        assert recs[0].priority == 1
+
+    def test_private_small_requests_do_not_trigger_collective(self):
+        techs = self.planner.techniques(profile(shared_file=False))
+        assert "collective I/O" not in techs
+
+    def test_large_requests_do_not_trigger_collective(self):
+        techs = self.planner.techniques(
+            profile(shared_file=True, mean_request_bytes=1 << 20))
+        assert "collective I/O" not in techs
+
+    def test_layout_conflict_triggers_layout(self):
+        techs = self.planner.techniques(profile(layout_conflict=True))
+        assert "file layout" in techs
+
+    def test_heavy_interface_triggers_efficient_interface(self):
+        for iface in ("fortran", "unix", "chameleon"):
+            techs = self.planner.techniques(profile(interface=iface))
+            assert "efficient interface" in techs, iface
+        techs = self.planner.techniques(profile(interface="passion"))
+        assert "efficient interface" not in techs
+
+    def test_overlap_triggers_prefetching(self):
+        techs = self.planner.techniques(profile(overlap_potential=0.8))
+        assert "prefetching" in techs
+        techs = self.planner.techniques(profile(overlap_potential=0.1))
+        assert "prefetching" not in techs
+
+    def test_recompute_knob_triggers_balanced_io(self):
+        techs = self.planner.techniques(profile(recompute_tradeoff=True))
+        assert "balanced I/O" in techs
+
+    def test_imbalance_triggers_balanced_io(self):
+        techs = self.planner.techniques(profile(rank_io_imbalance=1.6))
+        assert "balanced I/O" in techs
+
+    def test_saturated_large_request_io_asks_for_hardware(self):
+        techs = self.planner.techniques(
+            profile(io_fraction=0.9, mean_request_bytes=1 << 20,
+                    interface="passion"))
+        assert techs == ["more I/O nodes"]
+
+    def test_order_follows_the_papers_sequence(self):
+        recs = self.planner.plan(profile(
+            shared_file=True, layout_conflict=True, interface="fortran",
+            overlap_potential=0.9, recompute_tradeoff=True))
+        techs = [r.technique for r in recs]
+        assert techs == ["collective I/O", "file layout",
+                         "efficient interface", "prefetching",
+                         "balanced I/O"]
+        assert [r.priority for r in recs] == [1, 2, 3, 4, 5]
+
+    def test_to_text(self):
+        text = self.planner.to_text(profile(shared_file=True))
+        assert "collective I/O" in text
+        text2 = self.planner.to_text(profile(io_fraction=0.01))
+        assert "leave it alone" in text2
+
+    def test_recommendation_str(self):
+        r = Recommendation("prefetching", 2, "because overlap")
+        assert str(r) == "2. prefetching — because overlap"
+
+
+class TestTable5ViaPlanner:
+    """Feed each application's measured profile to the planner and check
+    it recommends the paper's effective technique for that app."""
+
+    planner = OptimizationPlanner()
+
+    def test_scf11_gets_interface_and_prefetching(self):
+        from repro.apps.scf11 import SCF11Config, run_scf11
+        res = run_scf11(paragon_large(4, 12),
+                        SCF11Config(n_basis=108, version="original",
+                                    measured_read_iters=1), 4)
+        prof = WorkloadProfile.from_result(
+            res, interface="fortran", shared_file=False,
+            overlap_potential=0.9)    # Fock build overlaps reads
+        techs = self.planner.techniques(prof)
+        assert "efficient interface" in techs
+        assert "prefetching" in techs
+        assert "collective I/O" not in techs   # private files
+
+    def test_scf30_gets_balanced_io(self):
+        from repro.apps.scf30 import SCF30Config, run_scf30
+        res = run_scf30(paragon_large(16, 16),
+                        SCF30Config(n_basis=108, cached_fraction=1.0,
+                                    measured_read_iters=1), 16)
+        prof = WorkloadProfile.from_result(
+            res, interface="passion", shared_file=False,
+            overlap_potential=0.5, recompute_tradeoff=True)
+        assert "balanced I/O" in self.planner.techniques(prof)
+
+    def test_fft_gets_file_layout(self):
+        from repro.apps.fft2d import FFTConfig, run_fft
+        res = run_fft(paragon_small(4, 2),
+                      FFTConfig(n=1024, version="unoptimized",
+                                panel_memory_bytes=256 * 1024), 4)
+        prof = WorkloadProfile.from_result(
+            res, interface="passion", shared_file=True,
+            layout_conflict=True)
+        techs = self.planner.techniques(prof)
+        assert "file layout" in techs
+
+    def test_btio_gets_collective_io_first(self):
+        from repro.apps.btio import BTIOConfig, run_btio
+        res = run_btio(sp2(9), BTIOConfig(class_name="W",
+                                          measured_dumps=1), 9)
+        prof = WorkloadProfile.from_result(res, interface="unix",
+                                           shared_file=True)
+        techs = self.planner.techniques(prof)
+        assert techs[0] == "collective I/O"
+
+    def test_ast_gets_collective_io_first(self):
+        from repro.apps.astro import ASTConfig, run_ast
+        res = run_ast(paragon_large(8, 12),
+                      ASTConfig(array_n=512, n_fields=2, n_steps=8,
+                                dump_interval=4, version="chameleon",
+                                measured_dumps=1), 8)
+        prof = WorkloadProfile.from_result(res, interface="chameleon",
+                                           shared_file=True)
+        techs = self.planner.techniques(prof)
+        assert techs[0] == "collective I/O"
+
+    def test_from_result_requires_trace(self):
+        from repro.apps.base import AppResult
+        res = AppResult(app="x", version="v", n_procs=1, n_io=1,
+                        exec_time=1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile.from_result(res)

@@ -1,0 +1,123 @@
+"""Tests for the AST (astrophysics) workload."""
+
+import pytest
+
+from repro.apps.astro import ASTConfig, run_ast, _column_block
+from repro.machine import paragon_large
+from repro.trace import IOOp
+
+QUICK = ASTConfig(array_n=512, n_fields=2, n_steps=8, dump_interval=4,
+                  measured_dumps=1)
+
+
+class TestPartition:
+    def test_column_blocks_cover_all_columns(self):
+        blocks = [_column_block(2048, r, 16) for r in range(16)]
+        assert blocks[0][0] == 0
+        assert blocks[-1][1] == 2048
+        for (a0, a1), (b0, b1) in zip(blocks, blocks[1:]):
+            assert a1 == b0
+
+    def test_near_even_split_with_remainder(self):
+        blocks = [_column_block(10, r, 3) for r in range(3)]
+        sizes = [b - a for a, b in blocks]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ASTConfig(version="mystery")
+        with pytest.raises(ValueError):
+            ASTConfig(array_n=0)
+
+    def test_volume_accounting(self):
+        cfg = ASTConfig(array_n=2048, n_fields=5, n_steps=40,
+                        dump_interval=4)
+        assert cfg.n_dumps == 10
+        assert cfg.field_bytes == 2048 * 2048 * 8
+        assert cfg.vis_bytes == 256 * 256 * 8
+        assert cfg.dump_bytes == 5 * cfg.field_bytes + cfg.vis_bytes
+
+
+class TestRuns:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        u = run_ast(paragon_large(8, 12), QUICK.with_(version="chameleon"), 8)
+        c = run_ast(paragon_large(8, 12), QUICK.with_(version="collective"),
+                    8)
+        return u, c
+
+    def test_collective_several_times_faster(self, pair):
+        u, c = pair
+        assert u.exec_time > 2.0 * c.exec_time
+        assert u.io_time > 3.0 * c.io_time
+
+    def test_chameleon_writes_small_chunks(self, pair):
+        u, _ = pair
+        writes = u.trace.aggregate(IOOp.WRITE)
+        avg = writes.nbytes / writes.count
+        assert avg <= QUICK.chunk_bytes
+
+    def test_collective_writes_few_large_requests(self, pair):
+        _, c = pair
+        writes = c.trace.aggregate(IOOp.WRITE)
+        avg = writes.nbytes / writes.count
+        assert avg > 32 * QUICK.chunk_bytes
+
+    def test_both_versions_write_the_same_volume(self, pair):
+        u, c = pair
+        # Chameleon writes chunk-by-chunk; collective writes domains.
+        vol_u = u.trace.aggregate(IOOp.WRITE).nbytes
+        vol_c = c.trace.aggregate(IOOp.WRITE).nbytes
+        assert vol_u == pytest.approx(vol_c, rel=0.05)
+
+    def test_unopt_exec_falls_with_procs(self):
+        t8 = run_ast(paragon_large(8, 12),
+                     QUICK.with_(version="chameleon"), 8).exec_time
+        t32 = run_ast(paragon_large(32, 12),
+                      QUICK.with_(version="chameleon"), 32).exec_time
+        assert t32 < t8
+
+    def test_io_nodes_secondary_to_software(self):
+        u16 = run_ast(paragon_large(8, 16),
+                      QUICK.with_(version="chameleon"), 8).exec_time
+        u64 = run_ast(paragon_large(8, 64),
+                      QUICK.with_(version="chameleon"), 8).exec_time
+        c16 = run_ast(paragon_large(8, 16),
+                      QUICK.with_(version="collective"), 8).exec_time
+        hw_gain = u16 / u64
+        sw_gain = u16 / c16
+        assert sw_gain > 1.5 * hw_gain
+
+
+class TestRestart:
+    def test_restart_adds_read_traffic(self):
+        from repro.trace import IOOp
+        base = run_ast(paragon_large(8, 12),
+                       QUICK.with_(version="collective"), 8)
+        restarted = run_ast(paragon_large(8, 12),
+                            QUICK.with_(version="collective", restart=True),
+                            8)
+        assert base.trace.aggregate(IOOp.READ).nbytes == 0
+        reads = restarted.trace.aggregate(IOOp.READ).nbytes
+        # The whole field set is read back once (two-phase may round the
+        # span up to domain alignment).
+        assert reads >= QUICK.n_fields * QUICK.field_bytes
+
+    def test_restart_chameleon_reads_in_chunks(self):
+        from repro.trace import IOOp
+        res = run_ast(paragon_large(8, 12),
+                      QUICK.with_(version="chameleon", restart=True), 8)
+        reads = res.trace.aggregate(IOOp.READ)
+        assert reads.count > 100
+        assert reads.nbytes / reads.count <= QUICK.chunk_bytes
+
+    def test_restart_costs_time(self):
+        cold = run_ast(paragon_large(8, 12),
+                       QUICK.with_(version="collective"), 8).exec_time
+        warm = run_ast(paragon_large(8, 12),
+                       QUICK.with_(version="collective", restart=True),
+                       8).exec_time
+        assert warm > cold

@@ -1,0 +1,90 @@
+"""Additional FFT workload tests: panel math, trace structure, scaling."""
+
+import pytest
+
+from repro.apps.fft2d import FFTConfig, fft_flops, run_fft
+from repro.machine import paragon_small
+from repro.trace import IOOp
+
+KB = 1024
+
+
+class TestPanelGeometry:
+    def test_panels_cover_all_columns(self):
+        from repro.apps.fft2d import _my_slices
+        n, w = 1024, 96
+        covered = []
+        for rank in range(4):
+            covered.extend(_my_slices(n, w, rank, 4))
+        covered.sort()
+        pos = 0
+        for a, b in covered:
+            assert a == pos
+            pos = b
+        assert pos == n
+
+    def test_round_robin_balances_panels(self):
+        from repro.apps.fft2d import _my_slices
+        n, w, size = 1024, 64, 4
+        counts = [len(list(_my_slices(n, w, r, size)))
+                  for r in range(size)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_block_side_never_exceeds_n(self):
+        cfg = FFTConfig(n=256, panel_memory_bytes=64 * 1024 * 1024)
+        assert cfg.block_side <= 256
+        assert cfg.panel_width <= 256
+
+
+class TestTraceStructure:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        out = {}
+        for version in ("unoptimized", "layout"):
+            cfg = FFTConfig(n=512, version=version,
+                            panel_memory_bytes=128 * KB)
+            out[version] = run_fft(paragon_small(4, 2), cfg, 4).trace
+        return out
+
+    def test_both_versions_move_identical_volume(self, traces):
+        for op in (IOOp.READ, IOOp.WRITE):
+            a = traces["unoptimized"].aggregate(op).nbytes
+            b = traces["layout"].aggregate(op).nbytes
+            assert a == b, op
+
+    def test_unoptimized_issues_far_more_requests(self, traces):
+        n_u = (traces["unoptimized"].aggregate(IOOp.READ).count
+               + traces["unoptimized"].aggregate(IOOp.WRITE).count)
+        n_l = (traces["layout"].aggregate(IOOp.READ).count
+               + traces["layout"].aggregate(IOOp.WRITE).count)
+        assert n_u > 5 * n_l
+
+    def test_volume_matches_config_total(self, traces):
+        cfg = FFTConfig(n=512)
+        moved = (traces["layout"].aggregate(IOOp.READ).nbytes
+                 + traces["layout"].aggregate(IOOp.WRITE).nbytes)
+        assert moved == cfg.total_io_bytes
+
+
+class TestScaling:
+    def test_exec_time_grows_with_n(self):
+        times = []
+        for n in (256, 512):
+            cfg = FFTConfig(n=n, panel_memory_bytes=64 * KB)
+            times.append(run_fft(paragon_small(4, 2), cfg, 4).exec_time)
+        # 4x the data -> at least ~4x the (I/O-bound) time; with fixed
+        # panel memory the request count grows superlinearly, so allow
+        # headroom above 4x.
+        assert 2.5 < times[1] / times[0] < 12.0
+
+    def test_flops_scale_n2_logn(self):
+        c1 = FFTConfig(n=1024)
+        c2 = FFTConfig(n=2048)
+        ratio = fft_flops(c2, c2.n) / fft_flops(c1, c1.n)
+        assert ratio == pytest.approx((4 * 11) / 10, rel=0.01)
+
+    def test_single_column_panels_still_work(self):
+        cfg = FFTConfig(n=256, panel_memory_bytes=1)   # width clamps to 1
+        assert cfg.panel_width == 1
+        res = run_fft(paragon_small(4, 2), cfg, 2)
+        assert res.exec_time > 0

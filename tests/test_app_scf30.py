@@ -1,0 +1,115 @@
+"""Tests for the SCF 3.0 workload model (balanced I/O)."""
+
+import pytest
+
+from repro.apps.scf30 import (
+    SCF30Config,
+    balanced_sizes,
+    rank_eval_skew,
+    run_scf30,
+)
+from repro.machine import paragon_large
+
+QUICK = SCF30Config(n_basis=108, measured_read_iters=1)
+
+
+class TestBalancing:
+    def test_sizes_within_tolerance_untouched(self):
+        sizes = [100, 102, 98, 101]
+        assert balanced_sizes(sizes, 0.10, 0) == sizes
+
+    def test_outliers_clamped_to_band(self):
+        sizes = [100, 200, 100, 100]
+        out = balanced_sizes(sizes, 0.10, 0)
+        mean = sum(sizes) / 4
+        assert out[1] == int(mean + 0.10 * mean)
+
+    def test_byte_tolerance_dominates_when_larger(self):
+        sizes = [100, 130]
+        out = balanced_sizes(sizes, 0.01, 1000)   # 1000-byte slack
+        assert out == [100, 130]
+
+    def test_balanced_spread_shrinks(self):
+        sizes = [50, 150, 100, 100]
+        out = balanced_sizes(sizes, 0.10, 0)
+        assert max(out) - min(out) < max(sizes) - min(sizes)
+
+    def test_skew_is_deterministic_and_bounded(self):
+        for rank in range(64):
+            s1 = rank_eval_skew(rank, 64, 0.25)
+            s2 = rank_eval_skew(rank, 64, 0.25)
+            assert s1 == s2
+            assert 0.75 <= s1 <= 1.25
+
+    def test_single_rank_has_no_skew(self):
+        assert rank_eval_skew(0, 1, 0.5) == 1.0
+
+
+class TestConfig:
+    def test_cached_fraction_validated(self):
+        with pytest.raises(ValueError):
+            SCF30Config(cached_fraction=1.5)
+
+    def test_recompute_cost_profile(self):
+        cfg = SCF30Config(eval_flops_max=3000, eval_flops_min=1500)
+        # f=0: recompute everything -> mean cost.
+        assert cfg.with_(cached_fraction=0.0).recompute_flops_per_integral() \
+            == pytest.approx(2250)
+        # f->1: only the cheapest integrals get recomputed.
+        assert cfg.with_(cached_fraction=1.0).recompute_flops_per_integral() \
+            == pytest.approx(1500)
+
+    def test_recompute_cost_monotone_in_fraction(self):
+        cfg = SCF30Config()
+        costs = [cfg.with_(cached_fraction=f).recompute_flops_per_integral()
+                 for f in (0.0, 0.3, 0.7, 1.0)]
+        assert costs == sorted(costs, reverse=True)
+
+
+class TestRuns:
+    def test_full_recompute_has_negligible_read_io(self):
+        res = run_scf30(paragon_large(8, 12),
+                        QUICK.with_(cached_fraction=0.0), 8)
+        assert res.io_time < 0.05 * res.exec_time
+
+    def test_caching_beats_full_recompute_at_small_p(self):
+        t0 = run_scf30(paragon_large(8, 12),
+                       QUICK.with_(cached_fraction=0.0), 8).exec_time
+        t1 = run_scf30(paragon_large(8, 12),
+                       QUICK.with_(cached_fraction=1.0), 8).exec_time
+        assert t1 < t0
+
+    def test_procs_help_recompute_much_more_than_cached(self):
+        def speedup(f):
+            small = run_scf30(paragon_large(8, 16),
+                              QUICK.with_(cached_fraction=f), 8).exec_time
+            big = run_scf30(paragon_large(64, 16),
+                            QUICK.with_(cached_fraction=f), 64).exec_time
+            return small / big
+        assert speedup(0.0) > 1.5 * speedup(1.0)
+
+    def test_balancing_narrows_per_rank_io_spread(self):
+        cfg = QUICK.with_(cached_fraction=1.0, eval_imbalance=0.5,
+                          balance_tolerance_bytes=0)
+        res_bal = run_scf30(paragon_large(8, 12),
+                            cfg.with_(balance_files=True), 8)
+        res_unbal = run_scf30(paragon_large(8, 12),
+                              cfg.with_(balance_files=False), 8)
+        def spread(res):
+            times = list(res.io_time_per_rank.values())
+            return max(times) / max(min(times), 1e-9)
+        # Balanced files mean the slowest rank reads much less extra data.
+        assert spread(res_bal) < spread(res_unbal)
+        # And total time does not regress materially.
+        assert res_bal.exec_time <= res_unbal.exec_time * 1.10
+
+    def test_version_string_encodes_fraction(self):
+        res = run_scf30(paragon_large(4, 12),
+                        QUICK.with_(cached_fraction=0.5), 4)
+        assert res.version == "cached=50%"
+
+    def test_io_time_grows_with_cached_fraction(self):
+        ios = [run_scf30(paragon_large(8, 12),
+                         QUICK.with_(cached_fraction=f), 8).io_time
+               for f in (0.0, 0.5, 1.0)]
+        assert ios[0] < ios[1] < ios[2]

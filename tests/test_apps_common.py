@@ -1,0 +1,74 @@
+"""Tests for the shared app scaffolding (AppResult, run_spmd, metadata)."""
+
+import pytest
+
+from repro.apps import ALL_METADATA
+from repro.apps.base import AppResult, run_spmd
+from repro.machine import Machine, MachineConfig
+
+
+class TestAppResult:
+    def _result(self, io_times):
+        return AppResult(app="x", version="v", n_procs=len(io_times),
+                         n_io=2, exec_time=100.0,
+                         io_time_per_rank=dict(enumerate(io_times)))
+
+    def test_io_time_is_slowest_rank(self):
+        res = self._result([1.0, 5.0, 3.0])
+        assert res.io_time == 5.0
+
+    def test_avg_and_total(self):
+        res = self._result([1.0, 2.0, 3.0])
+        assert res.avg_io_time == pytest.approx(2.0)
+        assert res.total_io_time == pytest.approx(6.0)
+
+    def test_empty_io_times(self):
+        res = self._result([])
+        assert res.io_time == 0.0
+        assert res.avg_io_time == 0.0
+
+    def test_bandwidth(self):
+        res = self._result([4.0])
+        assert res.bandwidth_mb_s(8 * 1024 * 1024) == pytest.approx(2.0)
+        res_zero = self._result([])
+        assert res_zero.bandwidth_mb_s(100) == 0.0
+
+    def test_repr_mentions_key_facts(self):
+        text = repr(self._result([1.0]))
+        assert "x/v" in text and "P=1" in text
+
+
+class TestRunSpmd:
+    def test_returns_per_rank_values(self):
+        machine = Machine(MachineConfig(n_compute=4, n_io=1))
+        def program(rank, comm, factor):
+            yield comm.env.timeout(rank * 0.5)
+            return rank * factor
+        values = run_spmd(machine, 4, program, 10)
+        assert values == [0, 10, 20, 30]
+        assert machine.now == pytest.approx(1.5)
+
+    def test_rank_failure_propagates(self):
+        machine = Machine(MachineConfig(n_compute=2, n_io=1))
+        def program(rank, comm):
+            yield comm.env.timeout(1)
+            if rank == 1:
+                raise RuntimeError("rank 1 died")
+        with pytest.raises(RuntimeError, match="rank 1 died"):
+            run_spmd(machine, 2, program)
+
+
+class TestMetadata:
+    def test_table1_metadata_complete(self):
+        assert set(ALL_METADATA) == {"scf11", "scf30", "fft", "btio", "ast"}
+        for meta in ALL_METADATA.values():
+            assert meta.lines > 0
+            assert meta.platform in ("Paragon", "SP-2")
+            assert meta.description
+
+    def test_line_counts_match_paper_table1(self):
+        assert ALL_METADATA["scf11"].lines == 16_500
+        assert ALL_METADATA["scf30"].lines == 19_000
+        assert ALL_METADATA["fft"].lines == 500
+        assert ALL_METADATA["btio"].lines == 6_713
+        assert ALL_METADATA["ast"].lines == 17_000

@@ -1,0 +1,98 @@
+"""Additional Chameleon-funnel tests."""
+
+import pytest
+
+from repro.iolib import ChameleonIO
+from repro.machine import Machine, paragon_small
+from repro.mp import Communicator
+from repro.pfs import PFS
+from repro.trace import IOOp, TraceCollector
+
+
+def _setup(n_ranks, functional=False):
+    machine = Machine(paragon_small(max(n_ranks, 4), 2))
+    fs = PFS(machine, functional=functional)
+    comm = Communicator(machine, n_ranks)
+    trace = TraceCollector(keep_records=True)
+    cham = ChameleonIO(fs, comm, trace=trace)
+    return machine, fs, comm, cham, trace
+
+
+class TestFunnelBehaviour:
+    def test_custom_master_rank(self):
+        machine, fs, comm, _, trace = _setup(3)
+        cham = ChameleonIO(fs, comm, trace=trace, master=2)
+        def program(rank, comm):
+            f = None
+            if rank == 2:
+                f = yield from cham.open(rank, "m", create=True)
+            yield from cham.write_chunks(rank, f,
+                                         [(rank * 100, 100, None)])
+        procs = comm.spawn(program)
+        machine.env.run(machine.env.all_of(procs))
+        writes = [r for r in trace.records if r.op is IOOp.WRITE]
+        assert writes and all(r.rank == 2 for r in writes)
+
+    def test_empty_chunk_lists_complete(self):
+        machine, fs, comm, cham, trace = _setup(3)
+        def program(rank, comm):
+            f = None
+            if rank == 0:
+                f = yield from cham.open(rank, "e", create=True)
+            yield from cham.write_chunks(rank, f, [])
+        procs = comm.spawn(program)
+        machine.env.run(machine.env.all_of(procs))
+        assert trace.aggregate(IOOp.WRITE).count == 0
+
+    def test_master_alone_works(self):
+        machine, fs, comm, cham, trace = _setup(1)
+        def program(rank, comm):
+            f = yield from cham.open(rank, "solo", create=True)
+            n = yield from cham.write_chunks(rank, f, [(0, 500, None)])
+            return n
+        procs = comm.spawn(program)
+        machine.env.run(machine.env.all_of(procs))
+        assert procs[0].value == 500
+
+    def test_funnel_slower_than_direct_writes(self):
+        """Shipping everything through one node costs more than each rank
+        writing its own region — the 'single node bottleneck'."""
+        def funnel_time():
+            machine, fs, comm, cham, _ = _setup(4)
+            def program(rank, comm):
+                f = None
+                if rank == 0:
+                    f = yield from cham.open(rank, "f", create=True)
+                chunks = [(rank * 64 * 1024 + k * 4096, 4096, None)
+                          for k in range(16)]
+                yield from cham.write_chunks(rank, f, chunks)
+            procs = comm.spawn(program)
+            machine.env.run(machine.env.all_of(procs))
+            return machine.now
+
+        def direct_time():
+            machine, fs, comm, cham, _ = _setup(4)
+            def program(rank, comm):
+                f = yield from cham.open(rank, "d", create=True)
+                for k in range(16):
+                    yield from f.seek(rank * 64 * 1024 + k * 4096)
+                    yield from f.write(4096)
+            procs = comm.spawn(program)
+            machine.env.run(machine.env.all_of(procs))
+            return machine.now
+
+        assert funnel_time() > direct_time()
+
+    def test_return_value_counts_master_bytes(self):
+        machine, fs, comm, cham, _ = _setup(2)
+        totals = {}
+        def program(rank, comm):
+            f = None
+            if rank == 0:
+                f = yield from cham.open(rank, "rv", create=True)
+            totals[rank] = yield from cham.write_chunks(
+                rank, f, [(rank * 1000, 1000, None)])
+        procs = comm.spawn(program)
+        machine.env.run(machine.env.all_of(procs))
+        assert totals[0] == 2000        # master writes everyone's bytes
+        assert totals[1] == 0           # senders report zero

@@ -1,0 +1,117 @@
+"""Stress/property tests for the communicator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Machine, MachineConfig
+from repro.mp import Communicator
+
+
+def _machine(n=16):
+    return Machine(MachineConfig(n_compute=n, n_io=1))
+
+
+def _run(comm, program, *args):
+    procs = comm.spawn(program, *args)
+    comm.env.run(comm.env.all_of(procs))
+    return [p.value for p in procs]
+
+
+class TestManyRanks:
+    @pytest.mark.parametrize("size", [1, 2, 7, 16])
+    def test_allreduce_at_various_sizes(self, size):
+        comm = Communicator(_machine(), size)
+        def program(rank, comm):
+            return (yield from comm.allreduce_scalar(rank, rank + 1))
+        expected = size * (size + 1) // 2
+        assert _run(comm, program) == [expected] * size
+
+    def test_repeated_collectives_stay_consistent(self):
+        comm = Communicator(_machine(), 8)
+        def program(rank, comm):
+            out = []
+            for round_ in range(5):
+                got = yield from comm.allgather(rank, (round_, rank),
+                                                nbytes=16)
+                out.append(got)
+            return out
+        results = _run(comm, program)
+        for rank, rounds in enumerate(results):
+            for round_, got in enumerate(rounds):
+                assert got == [(round_, r) for r in range(8)]
+
+    def test_pipeline_of_sends_preserves_order(self):
+        comm = Communicator(_machine(), 2)
+        def program(rank, comm):
+            if rank == 0:
+                for i in range(10):
+                    yield from comm.send(0, 1, i, nbytes=8)
+                return None
+            got = []
+            for _ in range(10):
+                _, payload, _ = yield from comm.recv(1)
+                got.append(payload)
+            return got
+        assert _run(comm, program)[1] == list(range(10))
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_random_alltoallv_delivers_exactly(self, seed):
+        import random
+        rng = random.Random(seed)
+        size = rng.choice([2, 3, 5])
+        plan = {r: {d: rng.randint(0, 4096)
+                    for d in range(size) if rng.random() < 0.7}
+                for r in range(size)}
+        comm = Communicator(_machine(), size)
+        inboxes = {}
+        def program(rank, comm):
+            sends = plan[rank]
+            payloads = {d: (rank, n) for d, n in sends.items()}
+            inboxes[rank] = yield from comm.alltoallv(rank, payloads, sends)
+        _run(comm, program)
+        for rank in range(size):
+            expected = {src: (src, plan[src][rank])
+                        for src in range(size) if rank in plan[src]}
+            assert inboxes[rank] == expected
+
+
+class TestBarrierUnderSkew:
+    def test_heavily_skewed_arrivals(self):
+        comm = Communicator(_machine(), 8)
+        def program(rank, comm):
+            yield comm.env.timeout(float(rank ** 2))
+            yield from comm.barrier(rank)
+            return comm.env.now
+        times = _run(comm, program)
+        assert max(times) - min(times) < 1e-9
+        assert times[0] >= 49.0
+
+    def test_many_generations(self):
+        comm = Communicator(_machine(), 4)
+        def program(rank, comm):
+            for _ in range(25):
+                yield from comm.barrier(rank)
+            return comm.env.now
+        times = _run(comm, program)
+        assert len(set(times)) == 1
+
+
+class TestTimingSanity:
+    def test_bigger_payload_bcast_takes_longer(self):
+        def run_bcast(nbytes):
+            comm = Communicator(_machine(), 8)
+            def program(rank, comm):
+                yield from comm.bcast(rank, "x", nbytes=nbytes, root=0)
+                return comm.env.now
+            return max(_run(comm, program))
+        assert run_bcast(10_000_000) > run_bcast(1_000)
+
+    def test_gather_root_receives_cost(self):
+        comm = Communicator(_machine(), 8)
+        def program(rank, comm):
+            yield from comm.gather(rank, rank, nbytes=1_000_000)
+            return comm.env.now
+        times = _run(comm, program)
+        # Seven 1 MB messages into the root's node serialize there.
+        assert max(times) > 7 * 1_000_000 / 200e6

@@ -1,0 +1,55 @@
+"""Tests for experiment helper plumbing (cheap pieces only)."""
+
+import pytest
+
+from repro.experiments import ConfigTuple, FIG1_TUPLES, run_tuple
+from repro.experiments.ast_exps import PAPER_TABLE4, PAPER_TABLE4_OPT
+from repro.experiments.summary_exps import EFFECTIVENESS_THRESHOLD
+
+
+class TestConfigTuple:
+    def test_str_matches_paper_notation(self):
+        tup = FIG1_TUPLES[0]
+        assert str(tup) == "I-(O,4,64,64,12)"
+
+    def test_all_tuples_well_formed(self):
+        for tup in FIG1_TUPLES:
+            assert tup.version in ("O", "P", "F")
+            assert tup.n_procs in (4, 32)
+            assert tup.n_io in (12, 16)
+            assert tup.stripe_kb in (64, 128)
+
+    def test_run_tuple_respects_configuration(self):
+        tup = ConfigTuple("T", "P", 4, 64, 128, 12)
+        res = run_tuple(tup, n_basis=108, measured_read_iters=1)
+        assert res.n_procs == 4
+        assert res.n_io == 12
+        assert res.version == "passion"
+        assert res.exec_time > 0
+
+    def test_run_tuple_memory_changes_request_size(self):
+        from repro.trace import IOOp
+        small_buf = ConfigTuple("S", "P", 4, 64, 64, 12)
+        big_buf = ConfigTuple("B", "P", 4, 256, 64, 12)
+        res_s = run_tuple(small_buf, 108, measured_read_iters=1)
+        res_b = run_tuple(big_buf, 108, measured_read_iters=1)
+        reads_s = res_s.trace.aggregate(IOOp.READ)
+        reads_b = res_b.trace.aggregate(IOOp.READ)
+        # Same volume, 4x bigger requests -> ~4x fewer calls.
+        assert reads_s.nbytes == reads_b.nbytes
+        assert reads_s.count > 3 * reads_b.count
+
+
+class TestPaperConstants:
+    def test_paper_table4_complete(self):
+        procs = {16, 32, 64, 128}
+        ios = {16, 64}
+        assert set(PAPER_TABLE4) == {(p, n) for p in procs for n in ios}
+        assert set(PAPER_TABLE4_OPT) == set(PAPER_TABLE4)
+
+    def test_paper_table4_values_spotcheck(self):
+        assert PAPER_TABLE4[(16, 16)] == 2557
+        assert PAPER_TABLE4_OPT[(128, 64)] == 77
+
+    def test_effectiveness_threshold_sane(self):
+        assert 0.0 < EFFECTIVENESS_THRESHOLD < 0.5

@@ -1,0 +1,105 @@
+"""Property-based tests for the fabric and topologies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Mesh2D, MultistageSwitch, NetworkParams
+from repro.machine.network import Fabric
+from repro.sim import Environment
+
+
+def _fabric(topology=None, **net_kw):
+    env = Environment()
+    params = NetworkParams(**net_kw) if net_kw else NetworkParams()
+    return env, Fabric(env, topology or Mesh2D(8, 8), params)
+
+
+class TestWireTimeProperties:
+    @given(n1=st.integers(0, 10 ** 7), n2=st.integers(0, 10 ** 7))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_bytes(self, n1, n2):
+        _, fab = _fabric()
+        lo, hi = sorted((n1, n2))
+        assert fab.wire_time(0, 5, lo) <= fab.wire_time(0, 5, hi)
+
+    @given(src=st.integers(0, 63), dst=st.integers(0, 63),
+           nbytes=st.integers(0, 10 ** 6))
+    @settings(max_examples=100, deadline=None)
+    def test_positive_and_symmetric_on_mesh(self, src, dst, nbytes):
+        _, fab = _fabric()
+        t = fab.wire_time(src, dst, nbytes)
+        assert t > 0
+        assert t == pytest.approx(fab.wire_time(dst, src, nbytes))
+
+    def test_hops_add_latency(self):
+        _, fab = _fabric()
+        near = fab.wire_time(0, 1, 0)      # 1 hop
+        far = fab.wire_time(0, 63, 0)      # 14 hops
+        assert far > near
+
+    def test_switch_uniformity(self):
+        _, fab = _fabric(topology=MultistageSwitch(64))
+        times = {fab.wire_time(0, d, 1000) for d in range(1, 64)}
+        assert len(times) == 1
+
+
+class TestTransferConservation:
+    @given(sizes=st.lists(st.integers(1, 100_000), min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_bytes_moved_equals_sum_of_transfers(self, sizes):
+        env, fab = _fabric()
+        def sender(env, dst, n):
+            yield from fab.transfer(0, dst, n)
+        for i, n in enumerate(sizes):
+            env.process(sender(env, 1 + (i % 5), n))
+        env.run()
+        assert fab.stats.bytes_moved == sum(sizes)
+        assert fab.stats.messages == len(sizes)
+
+    @given(n_senders=st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_contended_completion_no_earlier_than_serial_bound(self,
+                                                               n_senders):
+        """N equal payloads into one NIC finish no earlier than N x the
+        bandwidth term (the NIC serializes them)."""
+        env, fab = _fabric()
+        payload = 500_000
+        done = []
+        def sender(env, src):
+            yield from fab.transfer(src, 10, payload)
+            done.append(env.now)
+        for src in range(n_senders):
+            env.process(sender(env, src))
+        env.run()
+        bandwidth_term = payload / fab.params.link_bandwidth
+        assert max(done) >= n_senders * bandwidth_term
+
+
+class TestTopologyProperties:
+    @given(rows=st.integers(1, 12), cols=st.integers(1, 12),
+           node=st.integers(0, 200))
+    @settings(max_examples=100, deadline=None)
+    def test_mesh_coords_always_inside(self, rows, cols, node):
+        mesh = Mesh2D(rows, cols)
+        r, c = mesh.coords(node)
+        assert 0 <= r < rows
+        assert 0 <= c < cols
+
+    @given(rows=st.integers(2, 10), cols=st.integers(2, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_mesh_triangle_inequality(self, rows, cols):
+        mesh = Mesh2D(rows, cols)
+        n = min(mesh.n_nodes(), 12)
+        for a in range(0, n, 3):
+            for b in range(1, n, 4):
+                for c in range(2, n, 5):
+                    assert mesh.hops(a, c) <= mesh.hops(a, b) \
+                        + mesh.hops(b, c)
+
+    @given(n=st.integers(1, 256))
+    @settings(max_examples=50, deadline=None)
+    def test_switch_hops_zero_iff_same_node(self, n):
+        sw = MultistageSwitch(n)
+        assert sw.hops(0, 0) == 0
+        if n > 1:
+            assert sw.hops(0, n - 1) > 0

@@ -1,0 +1,133 @@
+"""Additional interface-layer tests."""
+
+import pytest
+
+from repro.iolib import (
+    ChameleonIO,
+    FortranIO,
+    InterfaceCosts,
+    PassionIO,
+    UnixIO,
+)
+from repro.machine import Machine, paragon_small
+from repro.pfs import PFS
+from repro.trace import IOOp, TraceCollector
+from tests.conftest import run_proc
+
+KB = 1024
+
+
+class TestInterfaceCosts:
+    def test_costs_are_frozen(self):
+        with pytest.raises(AttributeError):
+            InterfaceCosts().open_s = 1.0
+
+    def test_chameleon_heavier_than_unix(self):
+        assert ChameleonIO.costs.write_call_s > UnixIO.costs.write_call_s
+        assert ChameleonIO.costs.buffer_copy
+
+    def test_buffer_copy_scales_with_payload(self):
+        """Fortran's per-call cost grows with request size; PASSION's
+        doesn't (beyond the transfer itself)."""
+        def read_cost(interface_cls, nbytes):
+            machine = Machine(paragon_small(4, 2))
+            fs = PFS(machine)
+            interface = interface_cls(fs)
+            def p():
+                f = yield from interface.open(0, "b", create=True)
+                yield from f.pwrite(0, nbytes)
+                for srv in fs.servers:
+                    srv.cache.clear()
+                t0 = fs.env.now
+                yield from f.pread(0, nbytes)
+                return fs.env.now - t0
+            return run_proc(machine, p())
+
+        small_f = read_cost(FortranIO, 8 * KB)
+        big_f = read_cost(FortranIO, 512 * KB)
+        small_p = read_cost(PassionIO, 8 * KB)
+        big_p = read_cost(PassionIO, 512 * KB)
+        # Subtract the shared transfer growth: Fortran grows strictly more.
+        assert (big_f - small_f) > (big_p - small_p)
+
+
+class TestFlushAndClose:
+    def test_flush_records_and_costs(self, small_machine):
+        fs = PFS(small_machine)
+        trace = TraceCollector()
+        interface = PassionIO(fs, trace=trace)
+        def p():
+            f = yield from interface.open(0, "fl", create=True)
+            t0 = fs.env.now
+            yield from f.flush()
+            dt = fs.env.now - t0
+            yield from f.close()
+            return dt
+        dt = run_proc(small_machine, p())
+        assert dt > 0
+        assert trace.aggregate(IOOp.FLUSH).count == 1
+        assert trace.aggregate(IOOp.CLOSE).count == 1
+
+    def test_close_releases_file(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def p():
+            f = yield from interface.open(0, "cl", create=True)
+            yield from f.close()
+            return fs.lookup("cl").open_count
+        assert run_proc(small_machine, p()) == 0
+
+    def test_size_property_tracks_writes(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def p():
+            f = yield from interface.open(0, "sz", create=True)
+            yield from f.pwrite(100, 50)
+            return f.size
+        assert run_proc(small_machine, p()) == 150
+
+
+class TestWriteReadSymmetry:
+    def test_write_then_read_positions_consistent(self, small_machine):
+        fs = PFS(small_machine, functional=True)
+        interface = PassionIO(fs)
+        def p():
+            f = yield from interface.open(0, "pos", create=True)
+            yield from f.write(10, b"0123456789")
+            yield from f.seek(3)
+            got = yield from f.read(4)
+            return got, f.position
+        got, pos = run_proc(small_machine, p())
+        assert got == b"3456"
+        assert pos == 7
+
+    def test_interleaved_interfaces_share_the_file(self, small_machine):
+        """Two interfaces over one FS see the same bytes."""
+        fs = PFS(small_machine, functional=True)
+        unix = UnixIO(fs)
+        passion = PassionIO(fs)
+        def p():
+            fu = yield from unix.open(0, "sh", create=True)
+            yield from fu.pwrite(0, 4, b"ABCD")
+            fp = yield from passion.open(1, "sh")
+            got = yield from fp.pread(0, 4)
+            yield from fu.close()
+            yield from fp.close()
+            return got
+        assert run_proc(small_machine, p()) == b"ABCD"
+
+    def test_trace_shared_between_interfaces_when_passed(self,
+                                                         small_machine):
+        fs = PFS(small_machine)
+        trace = TraceCollector()
+        a = UnixIO(fs, trace=trace)
+        b = PassionIO(fs, trace=trace)
+        def p():
+            fa = yield from a.open(0, "x", create=True)
+            yield from fa.pwrite(0, KB)
+            fb = yield from b.open(1, "x")
+            yield from fb.pread(0, KB)
+        run_proc(small_machine, p())
+        assert trace.aggregate(IOOp.WRITE).count == 1
+        assert trace.aggregate(IOOp.READ).count == 1
+        assert trace.aggregate(IOOp.OPEN).count == 2

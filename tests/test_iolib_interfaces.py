@@ -1,0 +1,207 @@
+"""Tests for the I/O interfaces: costs ordering, positioning, tracing."""
+
+import pytest
+
+from repro.iolib import (
+    ChameleonIO,
+    FortranIO,
+    PassionIO,
+    RECORD_MARKER_BYTES,
+    UnixIO,
+)
+from repro.mp import Communicator
+from repro.pfs import PFS
+from repro.trace import IOOp, TraceCollector
+from tests.conftest import run_proc, run_procs
+
+KB = 1024
+
+
+def _open_and(interface, name, body):
+    """Helper generator: open, run body(file), close, return its result."""
+    f = yield from interface.open(0, name, create=True)
+    result = yield from body(f)
+    yield from f.close()
+    return result
+
+
+class TestInterfaceCostOrdering:
+    def _read_time(self, machine, interface_cls):
+        fs = PFS(machine)
+        interface = interface_cls(fs)
+        def body(f):
+            yield from f.pwrite(0, 64 * KB)
+            t0 = fs.env.now
+            yield from f.pread(0, 64 * KB)
+            return fs.env.now - t0
+        return run_proc(machine, _open_and(interface, "t.dat", body))
+
+    def test_fortran_slowest_passion_fastest(self, small_machine):
+        from repro.machine import Machine, paragon_small
+        times = {}
+        for cls in (FortranIO, UnixIO, PassionIO):
+            m = Machine(paragon_small(4, 2))
+            times[cls.name] = self._read_time(m, cls)
+        assert times["fortran"] > times["unix"] > times["passion"]
+
+    def test_declared_costs_ordering(self):
+        assert FortranIO.costs.read_call_s > UnixIO.costs.read_call_s \
+            > PassionIO.costs.read_call_s
+        assert FortranIO.costs.buffer_copy
+        assert not PassionIO.costs.buffer_copy
+
+
+class TestPositioning:
+    def test_read_advances_position(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def body(f):
+            yield from f.write(100)
+            yield from f.seek(0)
+            yield from f.read(60)
+            return f.position
+        assert run_proc(small_machine, _open_and(interface, "p.dat", body)) \
+            == 60
+
+    def test_pread_does_not_move_pointer(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def body(f):
+            yield from f.write(100)
+            pos = f.position
+            yield from f.pread(0, 50)
+            return f.position == pos
+        assert run_proc(small_machine, _open_and(interface, "p.dat", body))
+
+    def test_negative_seek_rejected(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def body(f):
+            yield from f.seek(-1)
+        with pytest.raises(ValueError):
+            run_proc(small_machine, _open_and(interface, "p.dat", body))
+
+    def test_seek_read_convenience(self, small_machine):
+        fs = PFS(small_machine, functional=True)
+        interface = PassionIO(fs)
+        def body(f):
+            yield from f.seek_write(0, 10, b"0123456789")
+            data = yield from f.seek_read(4, 3)
+            return data
+        assert run_proc(small_machine, _open_and(interface, "sr.dat", body)) \
+            == b"456"
+
+
+class TestFortranRecords:
+    def test_record_markers_advance_position(self, small_machine):
+        fs = PFS(small_machine)
+        interface = FortranIO(fs)
+        def body(f):
+            yield from f.write_record(1000)
+            return f.position
+        assert run_proc(small_machine, _open_and(interface, "r.dat", body)) \
+            == 1000 + RECORD_MARKER_BYTES
+
+    def test_rewind_returns_to_zero(self, small_machine):
+        fs = PFS(small_machine)
+        interface = FortranIO(fs)
+        def body(f):
+            yield from f.write_record(1000)
+            yield from f.rewind()
+            return f.position
+        assert run_proc(small_machine, _open_and(interface, "r.dat", body)) \
+            == 0
+
+    def test_rewind_recorded_as_seek(self, small_machine):
+        fs = PFS(small_machine)
+        trace = TraceCollector()
+        interface = FortranIO(fs, trace=trace)
+        def body(f):
+            yield from f.write_record(100)
+            yield from f.rewind()
+            yield from f.read_record(100)
+            return None
+        run_proc(small_machine, _open_and(interface, "r.dat", body))
+        assert trace.aggregate(IOOp.SEEK).count == 1
+        assert trace.aggregate(IOOp.READ).count == 1
+
+
+class TestTracing:
+    def test_every_op_type_recorded(self, small_machine):
+        fs = PFS(small_machine)
+        trace = TraceCollector()
+        interface = PassionIO(fs, trace=trace)
+        def body(f):
+            yield from f.seek(0)
+            yield from f.write(100)
+            yield from f.pread(0, 50)
+            yield from f.flush()
+            return None
+        run_proc(small_machine, _open_and(interface, "t.dat", body))
+        for op in (IOOp.OPEN, IOOp.SEEK, IOOp.WRITE, IOOp.READ, IOOp.FLUSH,
+                   IOOp.CLOSE):
+            assert trace.aggregate(op).count == 1, op
+
+    def test_trace_durations_match_wall_time(self, small_machine):
+        fs = PFS(small_machine)
+        trace = TraceCollector()
+        interface = PassionIO(fs, trace=trace)
+        def body(f):
+            t0 = fs.env.now
+            yield from f.write(64 * KB)
+            return fs.env.now - t0
+        wall = run_proc(small_machine, _open_and(interface, "t.dat", body))
+        assert trace.aggregate(IOOp.WRITE).time == pytest.approx(wall)
+
+
+class TestChameleon:
+    def test_funnelled_write_lands_in_file(self, small_machine):
+        fs = PFS(small_machine, functional=True)
+        comm = Communicator(small_machine, 4)
+        cham = ChameleonIO(fs, comm)
+        def program(rank, comm):
+            f = None
+            if rank == 0:
+                f = yield from cham.open(rank, "fun.dat", create=True)
+            chunks = [(rank * 1000, 1000, bytes([rank + 1]) * 1000)]
+            yield from cham.write_chunks(rank, f, chunks)
+            if rank == 0:
+                yield from f.close()
+        procs = comm.spawn(program)
+        small_machine.env.run(small_machine.env.all_of(procs))
+        f = fs.lookup("fun.dat")
+        for r in range(4):
+            assert f.read_payload(r * 1000, 2) == bytes([r + 1]) * 2
+
+    def test_master_does_all_the_writes(self, small_machine):
+        fs = PFS(small_machine)
+        trace = TraceCollector(keep_records=True)
+        comm = Communicator(small_machine, 4)
+        cham = ChameleonIO(fs, comm, trace=trace)
+        def program(rank, comm):
+            f = None
+            if rank == 0:
+                f = yield from cham.open(rank, "fun.dat", create=True)
+            chunks = [(rank * 1000 + k * 250, 250, None) for k in range(4)]
+            yield from cham.write_chunks(rank, f, chunks)
+        procs = comm.spawn(program)
+        small_machine.env.run(small_machine.env.all_of(procs))
+        writes = [r for r in trace.records if r.op is IOOp.WRITE]
+        assert len(writes) == 16
+        assert all(r.rank == 0 for r in writes)
+
+    def test_all_ranks_blocked_until_master_finishes(self, small_machine):
+        fs = PFS(small_machine)
+        comm = Communicator(small_machine, 3)
+        cham = ChameleonIO(fs, comm)
+        ends = []
+        def program(rank, comm):
+            f = None
+            if rank == 0:
+                f = yield from cham.open(rank, "fun.dat", create=True)
+            yield from cham.write_chunks(
+                rank, f, [(rank * 100, 100, None)])
+            ends.append(comm.env.now)
+        procs = comm.spawn(program)
+        small_machine.env.run(small_machine.env.all_of(procs))
+        assert max(ends) - min(ends) < 0.01

@@ -1,0 +1,102 @@
+"""Tests for the positional disk model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import DiskParams, Disk
+from repro.machine.params import KB, MB
+
+
+@pytest.fixture
+def disk():
+    return Disk(DiskParams())
+
+
+class TestServiceTime:
+    def test_negative_inputs_rejected(self, disk):
+        with pytest.raises(ValueError):
+            disk.service_time(-1, 10)
+        with pytest.raises(ValueError):
+            disk.service_time(0, -10)
+
+    def test_first_access_pays_full_seek(self, disk):
+        p = disk.params
+        t = disk.service_time(0, 64 * KB)
+        expected = (p.controller_overhead_s + p.avg_seek_s
+                    + p.rotational_latency_s + 64 * KB / p.transfer_rate)
+        assert t == pytest.approx(expected)
+
+    def test_sequential_access_skips_mechanics(self, disk):
+        p = disk.params
+        disk.service_time(0, 64 * KB)
+        t = disk.service_time(64 * KB, 64 * KB)
+        assert t == pytest.approx(
+            p.controller_overhead_s + 64 * KB / p.transfer_rate)
+
+    def test_near_access_pays_track_seek_only(self, disk):
+        p = disk.params
+        disk.service_time(0, 4 * KB)
+        t = disk.service_time(4 * KB + 100 * KB, 4 * KB)  # within near window
+        assert t == pytest.approx(
+            p.controller_overhead_s + p.track_seek_s
+            + p.rotational_latency_s + 4 * KB / p.transfer_rate)
+
+    def test_far_access_pays_full_seek(self, disk):
+        p = disk.params
+        disk.service_time(0, 4 * KB)
+        t = disk.service_time(500 * MB, 4 * KB)
+        assert t == pytest.approx(
+            p.controller_overhead_s + p.avg_seek_s
+            + p.rotational_latency_s + 4 * KB / p.transfer_rate)
+
+    def test_sequential_stream_is_much_faster_than_scattered(self):
+        seq = Disk(DiskParams())
+        scat = Disk(DiskParams())
+        n, size = 100, 8 * KB
+        t_seq = sum(seq.service_time(i * size, size) for i in range(n))
+        t_scat = sum(scat.service_time(i * 100 * MB, size) for i in range(n))
+        assert t_scat > 5 * t_seq
+
+    def test_reset_position_forces_seek(self, disk):
+        disk.service_time(0, KB)
+        disk.reset_position()
+        p = disk.params
+        t = disk.service_time(KB, KB)
+        assert t == pytest.approx(
+            p.controller_overhead_s + p.avg_seek_s
+            + p.rotational_latency_s + KB / p.transfer_rate)
+
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=MB),
+                          min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_service_time_positive_and_busy_time_accumulates(self, sizes):
+        disk = Disk(DiskParams())
+        total = 0.0
+        for i, size in enumerate(sizes):
+            t = disk.service_time(i * 2 * MB, size)
+            assert t > 0
+            total += t
+        assert disk.stats.busy_time == pytest.approx(total)
+        assert disk.stats.requests == len(sizes)
+
+    @given(size=st.integers(min_value=1, max_value=4 * MB))
+    @settings(max_examples=50, deadline=None)
+    def test_larger_requests_take_longer_from_same_start(self, size):
+        d1, d2 = Disk(DiskParams()), Disk(DiskParams())
+        assert (d2.service_time(0, size + 1024)
+                > d1.service_time(0, size) - 1e-12)
+
+
+class TestStats:
+    def test_read_write_byte_accounting(self, disk):
+        disk.service_time(0, 100, write=False)
+        disk.service_time(200, 300, write=True)
+        assert disk.stats.bytes_read == 100
+        assert disk.stats.bytes_written == 300
+
+    def test_seek_vs_sequential_hit_counters(self, disk):
+        disk.service_time(0, KB)          # seek
+        disk.service_time(KB, KB)         # sequential
+        disk.service_time(100 * MB, KB)   # seek
+        assert disk.stats.seeks == 2
+        assert disk.stats.sequential_hits == 1

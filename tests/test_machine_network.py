@@ -1,0 +1,131 @@
+"""Tests for topologies and the contended fabric."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Mesh2D, MultistageSwitch, NetworkParams
+from repro.machine.network import Fabric
+from repro.sim import Environment
+
+
+class TestMesh2D:
+    def test_dimensions_validated(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 4)
+
+    def test_hops_is_manhattan_distance(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 5) == 2       # (0,0) -> (1,1)
+        assert mesh.hops(0, 15) == 6      # (0,0) -> (3,3)
+
+    def test_for_node_count_covers_n(self):
+        for n in (1, 2, 7, 16, 56, 100, 513):
+            mesh = Mesh2D.for_node_count(n)
+            assert mesh.n_nodes() >= n
+
+    def test_edge_attached_nodes_land_on_last_column(self):
+        mesh = Mesh2D(4, 4)
+        row, col = mesh.coords(16)        # beyond the mesh
+        assert col == mesh.cols - 1
+        assert 0 <= row < mesh.rows
+
+    @given(st.integers(0, 60), st.integers(0, 60))
+    @settings(max_examples=100, deadline=None)
+    def test_hops_symmetric_and_nonnegative(self, a, b):
+        mesh = Mesh2D(8, 8)
+        assert mesh.hops(a, b) == mesh.hops(b, a) >= 0
+
+    def test_average_hops_reasonable(self):
+        mesh = Mesh2D(4, 4)
+        avg = mesh.average_hops()
+        assert 2.0 < avg < 3.0            # exact: 8/3 for a 4x4 mesh
+
+
+class TestMultistageSwitch:
+    def test_uniform_hops(self):
+        sw = MultistageSwitch(64)
+        assert sw.hops(0, 1) == sw.hops(3, 60) == 6
+        assert sw.hops(5, 5) == 0
+
+    def test_stage_count_is_log2(self):
+        assert MultistageSwitch(16).stages == 4
+        assert MultistageSwitch(80).stages == 7
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            MultistageSwitch(0)
+
+
+class TestFabric:
+    def _fabric(self, env, bw=100e6, lat=10e-6):
+        params = NetworkParams(link_bandwidth=bw, latency_s=lat,
+                               per_hop_s=1e-6, msg_overhead_s=5e-6)
+        return Fabric(env, Mesh2D(4, 4), params)
+
+    def test_wire_time_components(self, env):
+        fab = self._fabric(env)
+        t = fab.wire_time(0, 5, 1000)
+        hops = fab.topology.hops(0, 5)
+        assert t == pytest.approx(10e-6 + 5e-6 + hops * 1e-6 + 1000 / 100e6)
+
+    def test_negative_bytes_rejected(self, env):
+        with pytest.raises(ValueError):
+            self._fabric(env).wire_time(0, 1, -1)
+
+    def test_self_transfer_is_free(self, env):
+        fab = self._fabric(env)
+        def p(env):
+            yield from fab.transfer(3, 3, 10_000_000)
+            return env.now
+        assert env.run(env.process(p(env))) == 0.0
+
+    def test_single_transfer_matches_wire_time(self, env):
+        fab = self._fabric(env)
+        def p(env):
+            yield from fab.transfer(0, 5, 50_000)
+            return env.now
+        assert env.run(env.process(p(env))) == pytest.approx(
+            fab.wire_time(0, 5, 50_000))
+
+    def test_receiver_nic_serializes_concurrent_senders(self, env):
+        fab = self._fabric(env)
+        done = []
+        def sender(env, src):
+            yield from fab.transfer(src, 5, 1_000_000)  # 10 ms each
+            done.append(env.now)
+        for src in (0, 1, 2):
+            env.process(sender(env, src))
+        env.run()
+        # Three 10ms payloads into one NIC: completions at ~10/20/30 ms.
+        assert len(done) == 3
+        assert done[-1] > 2.5 * done[0]
+
+    def test_transfers_to_different_receivers_run_in_parallel(self, env):
+        fab = self._fabric(env)
+        done = []
+        def sender(env, src, dst):
+            yield from fab.transfer(src, dst, 1_000_000)
+            done.append(env.now)
+        env.process(sender(env, 0, 5))
+        env.process(sender(env, 1, 6))
+        env.run()
+        assert max(done) == pytest.approx(min(done), rel=0.2)
+
+    def test_stats_accumulate(self, env):
+        fab = self._fabric(env)
+        def p(env):
+            yield from fab.transfer(0, 1, 500)
+            yield from fab.transfer(1, 2, 700)
+        env.process(p(env))
+        env.run()
+        assert fab.stats.messages == 2
+        assert fab.stats.bytes_moved == 1200
+        assert fab.stats.total_transfer_time > 0
+
+    def test_nic_queue_length_visibility(self, env):
+        fab = self._fabric(env, bw=1e6)   # slow: 1 s per MB
+        for src in (0, 1, 2):
+            env.process(fab.transfer(src, 5, 1_000_000))
+        env.run(until=0.5)
+        assert fab.nic_queue_length(5) >= 2

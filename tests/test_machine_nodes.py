@@ -1,0 +1,161 @@
+"""Tests for compute/I/O nodes, machine assembly, and presets."""
+
+import pytest
+
+from repro.machine import (
+    CPUParams,
+    IONodeParams,
+    Machine,
+    MachineConfig,
+    paragon_large,
+    paragon_small,
+    sp2,
+)
+from repro.machine.node import ComputeNode, IONode
+from repro.machine.params import KB, MB
+from repro.sim import Environment
+
+
+class TestComputeNode:
+    def test_compute_time_scales_with_flops(self, env):
+        node = ComputeNode(env, 0, CPUParams(mflops=100), 32 * MB)
+        assert node.compute_time(1e8) == pytest.approx(1.0)
+
+    def test_negative_flops_rejected(self, env):
+        node = ComputeNode(env, 0, CPUParams(), 32 * MB)
+        with pytest.raises(ValueError):
+            node.compute_time(-1)
+
+    def test_compute_advances_clock_and_busy_time(self, env):
+        node = ComputeNode(env, 0, CPUParams(mflops=50), 32 * MB)
+        def p(env):
+            yield from node.compute(5e7)
+            return env.now
+        assert env.run(env.process(p(env))) == pytest.approx(1.0)
+        assert node.busy_time == pytest.approx(1.0)
+
+    def test_memcpy_uses_memcpy_rate(self, env):
+        node = ComputeNode(env, 0, CPUParams(memcpy_rate=10 * MB), 32 * MB)
+        def p(env):
+            yield from node.memcpy(10 * MB)
+            return env.now
+        assert env.run(env.process(p(env))) == pytest.approx(1.0)
+
+    def test_memory_container_has_node_capacity(self, env):
+        node = ComputeNode(env, 0, CPUParams(), 16 * MB)
+        assert node.memory.capacity == 16 * MB
+
+
+class TestIONode:
+    def test_serve_validates_disk_index(self, env):
+        node = IONode(env, 0, IONodeParams(disks_per_node=2))
+        def p(env):
+            yield from node.serve(5, 0, 100)
+        with pytest.raises(IndexError):
+            env.run(env.process(p(env)))
+
+    def test_requests_on_same_disk_serialize(self, env):
+        node = IONode(env, 0, IONodeParams(disks_per_node=1))
+        ends = []
+        def client(env, offset):
+            yield from node.serve(0, offset, 512 * KB)
+            ends.append(env.now)
+        env.process(client(env, 0))
+        env.process(client(env, 100 * MB))
+        env.run()
+        assert ends[1] > 1.8 * ends[0]
+
+    def test_requests_on_different_disks_parallel(self, env):
+        node = IONode(env, 0, IONodeParams(disks_per_node=2))
+        ends = []
+        def client(env, disk):
+            yield from node.serve(disk, 0, 512 * KB)
+            ends.append(env.now)
+        env.process(client(env, 0))
+        env.process(client(env, 1))
+        env.run()
+        assert ends[0] == pytest.approx(ends[1])
+
+    def test_stats_accumulate(self, env):
+        node = IONode(env, 0, IONodeParams())
+        def p(env):
+            yield from node.serve(0, 0, 1000, write=True)
+            yield from node.serve(0, 1000, 2000, write=False)
+        env.process(p(env))
+        env.run()
+        assert node.stats.requests == 2
+        assert node.stats.bytes_written == 1000
+        assert node.stats.bytes_read == 2000
+
+
+class TestMachineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(n_compute=0)
+        with pytest.raises(ValueError):
+            MachineConfig(n_io=0)
+        with pytest.raises(ValueError):
+            MachineConfig(memory_per_node=0)
+
+    def test_with_creates_modified_copy(self):
+        cfg = MachineConfig(n_compute=8)
+        cfg2 = cfg.with_(n_io=4)
+        assert cfg2.n_io == 4 and cfg2.n_compute == 8
+        assert cfg.n_io != 4 or cfg.n_io == cfg2.n_io  # original untouched
+
+    def test_unknown_topology_rejected_at_build(self):
+        cfg = MachineConfig()
+        object.__setattr__(cfg, "topology", "torus")
+        with pytest.raises(ValueError):
+            Machine(cfg)
+
+
+class TestMachine:
+    def test_node_addressing(self):
+        m = Machine(MachineConfig(n_compute=4, n_io=2))
+        assert m.io_address(0) == 4
+        assert m.io_address(1) == 5
+        with pytest.raises(IndexError):
+            m.io_address(2)
+
+    def test_machine_builds_requested_nodes(self):
+        m = Machine(MachineConfig(n_compute=6, n_io=3))
+        assert len(m.compute_nodes) == 6
+        assert len(m.io_nodes) == 3
+        assert m.topology.n_nodes() >= 9
+
+    def test_shared_environment(self):
+        env = Environment()
+        m = Machine(MachineConfig(), env=env)
+        assert m.env is env
+
+
+class TestPresets:
+    def test_paragon_small_limits(self):
+        with pytest.raises(ValueError):
+            paragon_small(n_compute=100)
+        with pytest.raises(ValueError):
+            paragon_small(n_io=3)
+        cfg = paragon_small(16, 4)
+        assert cfg.n_compute == 16 and cfg.n_io == 4
+        assert cfg.default_stripe_unit == 64 * KB
+        assert cfg.topology == "mesh"
+
+    def test_paragon_large_limits(self):
+        with pytest.raises(ValueError):
+            paragon_large(n_compute=1024)
+        with pytest.raises(ValueError):
+            paragon_large(n_io=10)
+        for n_io in (12, 16, 64):
+            assert paragon_large(n_io=n_io).n_io == n_io
+
+    def test_sp2_fixed_io_partition(self):
+        cfg = sp2(36)
+        assert cfg.n_io == 4
+        assert cfg.default_stripe_unit == 32 * KB
+        assert cfg.topology == "switch"
+        with pytest.raises(ValueError):
+            sp2(100)
+
+    def test_sp2_cpu_faster_than_paragon(self):
+        assert sp2().cpu.mflops > paragon_small().cpu.mflops

@@ -1,0 +1,153 @@
+"""Grab-bag of edge-case tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro.iolib import (
+    Decomposition,
+    Distribution,
+    IORequest,
+    PassionIO,
+    PrefetchReader,
+    sieved_read,
+    sieved_write,
+)
+from repro.machine import Machine, MachineConfig, paragon_small
+from repro.mp import Communicator
+from repro.pfs import PFS
+from tests.conftest import run_proc
+
+KB = 1024
+
+
+class TestPrefetchEdges:
+    def test_zero_length_stream(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def p():
+            f = yield from interface.open(0, "z", create=True)
+            pf = PrefetchReader(f, KB, total_bytes=0)
+            yield from pf.prime()
+            data, n = yield from pf.next_chunk()
+            return data, n, pf.exhausted
+        data, n, exhausted = run_proc(small_machine, p())
+        assert (data, n) == (None, 0)
+        assert exhausted
+
+    def test_default_total_bytes_is_file_remainder(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def p():
+            f = yield from interface.open(0, "d", create=True)
+            yield from f.pwrite(0, 10 * KB)
+            pf = PrefetchReader(f, 4 * KB, start_offset=2 * KB)
+            return pf.total_bytes
+        assert run_proc(small_machine, p()) == 8 * KB
+
+    def test_depth_larger_than_stream(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def p():
+            f = yield from interface.open(0, "s", create=True)
+            yield from f.pwrite(0, 2 * KB)
+            pf = PrefetchReader(f, KB, depth=16, total_bytes=2 * KB)
+            yield from pf.prime()
+            count = 0
+            while True:
+                _, n = yield from pf.next_chunk()
+                if n == 0:
+                    break
+                count += 1
+            return count
+        assert run_proc(small_machine, p()) == 2
+
+
+class TestSieveEdges:
+    def test_single_request_passthrough(self, small_machine):
+        fs = PFS(small_machine, functional=True)
+        interface = PassionIO(fs)
+        def p():
+            f = yield from interface.open(0, "one", create=True)
+            yield from f.pwrite(0, KB, b"\x07" * KB)
+            got = yield from sieved_read(f, [IORequest(0, KB)])
+            return got
+        assert run_proc(small_machine, p())[0] == b"\x07" * KB
+
+    def test_fully_covering_write_skips_preread(self, small_machine):
+        from repro.trace import IOOp, TraceCollector
+        fs = PFS(small_machine)
+        trace = TraceCollector()
+        interface = PassionIO(fs, trace=trace)
+        def p():
+            f = yield from interface.open(0, "cov", create=True)
+            reqs = [IORequest(k * KB, KB) for k in range(8)]  # contiguous
+            yield from sieved_write(f, reqs)
+        run_proc(small_machine, p())
+        assert trace.aggregate(IOOp.READ).count == 0
+        assert trace.aggregate(IOOp.WRITE).count == 1
+
+
+class TestRedistributeEdges:
+    def test_empty_array(self):
+        m = Machine(MachineConfig(n_compute=2, n_io=1))
+        comm = Communicator(m, 2)
+        from repro.iolib import redistribute
+        src = Decomposition(0, 2, Distribution.BLOCK)
+        dst = Decomposition(0, 2, Distribution.CYCLIC)
+        out = {}
+        def program(rank, comm):
+            out[rank] = yield from redistribute(rank, comm, src, dst)
+        procs = comm.spawn(program)
+        m.env.run(m.env.all_of(procs))
+        assert out == {0: 0, 1: 0}
+
+    def test_fewer_elements_than_ranks(self):
+        m = Machine(MachineConfig(n_compute=4, n_io=1))
+        comm = Communicator(m, 4)
+        from repro.iolib import redistribute
+        src = Decomposition(2, 4, Distribution.BLOCK)
+        dst = Decomposition(2, 4, Distribution.CYCLIC)
+        data = np.array([10.0, 20.0])
+        out = {}
+        def program(rank, comm):
+            local = data[src.local_indices(rank)]
+            out[rank] = yield from redistribute(rank, comm, src, dst,
+                                                local_data=local)
+        procs = comm.spawn(program)
+        m.env.run(m.env.all_of(procs))
+        assert list(out[0]) == [10.0]
+        assert list(out[1]) == [20.0]
+        assert len(out[2]) == 0 and len(out[3]) == 0
+
+
+class TestOOCArrayEdges:
+    def test_base_offset_shifts_file_placement(self, small_machine,
+                                               functional_fs):
+        from repro.iolib import Layout, OutOfCoreArray
+        interface = PassionIO(functional_fs)
+        def p():
+            f = yield from interface.open(0, "two", create=True)
+            a = OutOfCoreArray(f, 4, 4, layout=Layout.COLUMN_MAJOR)
+            b = OutOfCoreArray(f, 4, 4, layout=Layout.COLUMN_MAJOR,
+                               base_offset=a.nbytes)
+            ta = np.full((4, 4), 1.0)
+            tb = np.full((4, 4), 2.0)
+            yield from a.write_tile(0, 4, 0, 4, ta)
+            yield from b.write_tile(0, 4, 0, 4, tb)
+            back_a = yield from a.read_tile(0, 4, 0, 4)
+            back_b = yield from b.read_tile(0, 4, 0, 4)
+            return back_a, back_b
+        back_a, back_b = run_proc(small_machine, p())
+        assert np.all(back_a == 1.0)
+        assert np.all(back_b == 2.0)
+
+    def test_one_by_one_array(self, small_machine, functional_fs):
+        from repro.iolib import OutOfCoreArray
+        interface = PassionIO(functional_fs)
+        def p():
+            f = yield from interface.open(0, "tiny", create=True)
+            arr = OutOfCoreArray(f, 1, 1)
+            yield from arr.write_tile(0, 1, 0, 1, np.array([[42.0]]))
+            back = yield from arr.read_tile(0, 1, 0, 1)
+            return back
+        assert run_proc(small_machine, p())[0, 0] == 42.0

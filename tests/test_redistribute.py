@@ -1,0 +1,141 @@
+"""Tests for array redistribution (PASSION runtime)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.iolib import Decomposition, Distribution, redistribute
+from repro.machine import Machine, MachineConfig
+from repro.mp import Communicator
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig(n_compute=8, n_io=1))
+
+
+class TestDecomposition:
+    def test_block_ownership(self):
+        d = Decomposition(10, 3, Distribution.BLOCK)
+        # Sizes 4, 3, 3.
+        assert [d.owner_of(i) for i in range(10)] == \
+            [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_cyclic_ownership(self):
+        d = Decomposition(7, 3, Distribution.CYCLIC)
+        assert [d.owner_of(i) for i in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_block_cyclic_ownership(self):
+        d = Decomposition(12, 2, Distribution.BLOCK_CYCLIC, block=3)
+        assert [d.owner_of(i) for i in range(12)] == \
+            [0, 0, 0, 1, 1, 1, 0, 0, 0, 1, 1, 1]
+
+    def test_out_of_range_rejected(self):
+        d = Decomposition(4, 2, Distribution.BLOCK)
+        with pytest.raises(IndexError):
+            d.owner_of(4)
+        with pytest.raises(ValueError):
+            d.local_indices(2)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Decomposition(4, 0, Distribution.BLOCK)
+        with pytest.raises(ValueError):
+            Decomposition(4, 2, Distribution.BLOCK_CYCLIC, block=0)
+
+    @given(n=st.integers(0, 200), p=st.integers(1, 8),
+           kind=st.sampled_from(list(Distribution)),
+           block=st.integers(1, 5))
+    @settings(max_examples=150, deadline=None)
+    def test_local_indices_partition_global_range(self, n, p, kind, block):
+        d = Decomposition(n, p, kind, block=block)
+        seen = np.concatenate([d.local_indices(r) for r in range(p)]) \
+            if n else np.empty(0)
+        assert len(seen) == n
+        assert sorted(seen.tolist()) == list(range(n))
+
+    @given(n=st.integers(1, 200), p=st.integers(1, 8),
+           kind=st.sampled_from(list(Distribution)),
+           block=st.integers(1, 5))
+    @settings(max_examples=150, deadline=None)
+    def test_owner_of_agrees_with_local_indices(self, n, p, kind, block):
+        d = Decomposition(n, p, kind, block=block)
+        for r in range(p):
+            for g in d.local_indices(r):
+                assert d.owner_of(int(g)) == r
+
+    @given(n=st.integers(1, 200), p=st.integers(1, 8),
+           kind=st.sampled_from(list(Distribution)))
+    @settings(max_examples=100, deadline=None)
+    def test_vectorized_owners_match_scalar(self, n, p, kind):
+        d = Decomposition(n, p, kind, block=2)
+        idx = np.arange(n)
+        vec = d.owners(idx)
+        assert all(vec[i] == d.owner_of(i) for i in range(n))
+
+
+class TestRedistribute:
+    def _run(self, machine, src, dst, n, p, functional=True):
+        comm = Communicator(machine, p)
+        full = np.arange(n, dtype=np.float64) * 1.5
+        results = {}
+
+        def program(rank, comm):
+            data = full[src.local_indices(rank)] if functional else None
+            out = yield from redistribute(rank, comm, src, dst,
+                                          local_data=data)
+            results[rank] = out
+
+        procs = comm.spawn(program)
+        machine.env.run(machine.env.all_of(procs))
+        return full, results
+
+    def test_block_to_cyclic_preserves_values(self, machine):
+        n, p = 37, 4
+        src = Decomposition(n, p, Distribution.BLOCK)
+        dst = Decomposition(n, p, Distribution.CYCLIC)
+        full, results = self._run(machine, src, dst, n, p)
+        for rank in range(p):
+            expected = full[dst.local_indices(rank)]
+            assert np.array_equal(results[rank], expected), rank
+
+    def test_cyclic_to_block_cyclic(self, machine):
+        n, p = 50, 5
+        src = Decomposition(n, p, Distribution.CYCLIC)
+        dst = Decomposition(n, p, Distribution.BLOCK_CYCLIC, block=3)
+        full, results = self._run(machine, src, dst, n, p)
+        for rank in range(p):
+            assert np.array_equal(results[rank],
+                                  full[dst.local_indices(rank)])
+
+    def test_identity_redistribution(self, machine):
+        n, p = 20, 4
+        d = Decomposition(n, p, Distribution.BLOCK)
+        full, results = self._run(machine, d, d, n, p)
+        for rank in range(p):
+            assert np.array_equal(results[rank], full[d.local_indices(rank)])
+
+    def test_timing_only_returns_new_count(self, machine):
+        n, p = 30, 3
+        src = Decomposition(n, p, Distribution.BLOCK)
+        dst = Decomposition(n, p, Distribution.CYCLIC)
+        _, results = self._run(machine, src, dst, n, p, functional=False)
+        for rank in range(p):
+            assert results[rank] == dst.local_count(rank)
+
+    def test_mismatched_decompositions_rejected(self, machine):
+        comm = Communicator(machine, 2)
+        src = Decomposition(10, 2, Distribution.BLOCK)
+        dst = Decomposition(12, 2, Distribution.BLOCK)
+        def program(rank, comm):
+            yield from redistribute(rank, comm, src, dst)
+        procs = comm.spawn(program)
+        with pytest.raises(ValueError):
+            machine.env.run(machine.env.all_of(procs))
+
+    def test_redistribution_costs_simulated_time(self, machine):
+        n, p = 10_000, 4
+        src = Decomposition(n, p, Distribution.BLOCK)
+        dst = Decomposition(n, p, Distribution.CYCLIC)
+        self._run(machine, src, dst, n, p, functional=False)
+        assert machine.now > 0

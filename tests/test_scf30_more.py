@@ -1,0 +1,86 @@
+"""Additional SCF 3.0 tests: I/O-node sensitivity, trace structure."""
+
+import pytest
+
+from repro.apps.scf30 import SCF30Config, run_scf30
+from repro.machine import paragon_large
+from repro.trace import IOOp
+
+QUICK = SCF30Config(n_basis=108, measured_read_iters=1)
+
+
+class TestIONodeSensitivity:
+    def test_io_nodes_secondary_at_moderate_p(self):
+        """Paper: 'the number of I/O nodes is not very effective' for 3.0."""
+        t16 = run_scf30(paragon_large(16, 16),
+                        QUICK.with_(cached_fraction=0.9), 16).exec_time
+        t64 = run_scf30(paragon_large(16, 64),
+                        QUICK.with_(cached_fraction=0.9), 16).exec_time
+        # Within 2x (vs the order-of-magnitude software effects).
+        assert max(t16, t64) < 2.0 * min(t16, t64)
+
+    def test_zero_cache_indifferent_to_io_nodes(self):
+        t16 = run_scf30(paragon_large(16, 16),
+                        QUICK.with_(cached_fraction=0.0), 16).exec_time
+        t64 = run_scf30(paragon_large(16, 64),
+                        QUICK.with_(cached_fraction=0.0), 16).exec_time
+        assert t16 == pytest.approx(t64, rel=0.02)
+
+
+class TestTraceStructure:
+    def test_write_volume_tracks_cached_fraction(self):
+        vols = []
+        for f in (0.25, 0.5, 1.0):
+            res = run_scf30(paragon_large(8, 12),
+                            QUICK.with_(cached_fraction=f,
+                                        eval_imbalance=0.0), 8)
+            vols.append(res.trace.aggregate(IOOp.WRITE).nbytes)
+        assert vols[0] < vols[1] < vols[2]
+        assert vols[1] == pytest.approx(2 * vols[0], rel=0.05)
+
+    def test_read_volume_scales_with_iterations(self):
+        short = run_scf30(paragon_large(8, 12),
+                          QUICK.with_(cached_fraction=1.0,
+                                      n_iterations=3,
+                                      measured_read_iters=None), 8)
+        longer = run_scf30(paragon_large(8, 12),
+                           QUICK.with_(cached_fraction=1.0,
+                                       n_iterations=5,
+                                       measured_read_iters=None), 8)
+        r_short = short.trace.aggregate(IOOp.READ).nbytes
+        r_long = longer.trace.aggregate(IOOp.READ).nbytes
+        assert r_long == pytest.approx(2 * r_short, rel=0.05)
+
+    def test_zero_cache_writes_nothing(self):
+        res = run_scf30(paragon_large(8, 12),
+                        QUICK.with_(cached_fraction=0.0), 8)
+        assert res.trace.aggregate(IOOp.WRITE).nbytes == 0
+        assert res.trace.aggregate(IOOp.READ).nbytes == 0
+
+    def test_balancing_moves_surplus_bytes(self):
+        cfg = QUICK.with_(cached_fraction=1.0, eval_imbalance=0.5,
+                          balance_tolerance_bytes=0)
+        res_bal = run_scf30(paragon_large(8, 12),
+                            cfg.with_(balance_files=True), 8)
+        res_raw = run_scf30(paragon_large(8, 12),
+                            cfg.with_(balance_files=False), 8)
+        # The balanced run writes extra (shipped) bytes on top.
+        assert res_bal.trace.aggregate(IOOp.WRITE).nbytes >= \
+            res_raw.trace.aggregate(IOOp.WRITE).nbytes
+
+
+class TestResultStructure:
+    def test_extras_present(self):
+        res = run_scf30(paragon_large(4, 12),
+                        QUICK.with_(cached_fraction=0.5), 4)
+        assert res.extra["cached_fraction"] == 0.5
+        assert res.n_io == 12
+
+    def test_exec_time_monotone_in_iterations(self):
+        t3 = run_scf30(paragon_large(4, 12),
+                       QUICK.with_(n_iterations=3,
+                                   measured_read_iters=None), 4).exec_time
+        t6 = run_scf30(paragon_large(4, 12),
+                       QUICK.with_(n_iterations=6,
+                                   measured_read_iters=None), 4).exec_time
+        assert t6 > t3

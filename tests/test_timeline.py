@@ -1,0 +1,104 @@
+"""Tests for the time-binned trace timeline."""
+
+import pytest
+
+from repro.trace import IOOp, TraceCollector, build_timeline
+
+
+def make_trace(records):
+    t = TraceCollector(keep_records=True)
+    for op, rank, start, dur, nbytes in records:
+        t.record(op, rank, start, dur, nbytes=nbytes)
+    return t
+
+
+class TestBuildTimeline:
+    def test_requires_record_keeping(self):
+        with pytest.raises(ValueError):
+            build_timeline(TraceCollector())
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            build_timeline(TraceCollector(keep_records=True), n_bins=0)
+
+    def test_empty_trace_gives_empty_timeline(self):
+        tl = build_timeline(TraceCollector(keep_records=True))
+        assert len(tl) == 0
+        assert tl.span == 0.0
+        assert "empty" in tl.to_text()
+
+    def test_bytes_conserved_across_bins(self):
+        trace = make_trace([
+            (IOOp.READ, 0, 0.0, 4.0, 4000),
+            (IOOp.WRITE, 1, 2.0, 2.0, 1000),
+        ])
+        tl = build_timeline(trace, n_bins=8)
+        total = sum(b.bytes_moved for b in tl)
+        assert total == pytest.approx(5000, abs=8)   # rounding per bin
+
+    def test_long_op_spreads_over_bins(self):
+        trace = make_trace([(IOOp.READ, 0, 0.0, 10.0, 10_000)])
+        tl = build_timeline(trace, n_bins=10)
+        active = [b for b in tl if b.bytes_moved > 0]
+        assert len(active) == 10
+        assert all(b.bytes_moved == pytest.approx(1000, abs=2)
+                   for b in active)
+
+    def test_instantaneous_phases_are_spiky(self):
+        trace = make_trace([
+            (IOOp.WRITE, 0, 0.0, 0.1, 1_000_000),
+            (IOOp.WRITE, 0, 9.9, 0.1, 1_000_000),
+        ])
+        tl = build_timeline(trace, n_bins=10)
+        assert tl.bins[0].bytes_moved > 0
+        assert tl.bins[-1].bytes_moved > 0
+        assert all(b.bytes_moved == 0 for b in tl.bins[1:-1])
+        assert tl.burstiness() > 3.0
+        assert tl.active_fraction() == pytest.approx(0.2)
+
+    def test_op_filter(self):
+        trace = make_trace([
+            (IOOp.READ, 0, 0.0, 1.0, 500),
+            (IOOp.WRITE, 0, 0.0, 1.0, 700),
+        ])
+        tl_reads = build_timeline(trace, n_bins=4, ops=[IOOp.READ])
+        assert sum(b.bytes_moved for b in tl_reads) == pytest.approx(500,
+                                                                     abs=4)
+
+    def test_utilization_counts_concurrency(self):
+        # Two fully overlapping 1-second ops in a 1-second span.
+        trace = make_trace([
+            (IOOp.READ, 0, 0.0, 1.0, 100),
+            (IOOp.READ, 1, 0.0, 1.0, 100),
+        ])
+        tl = build_timeline(trace, n_bins=1)
+        assert tl.bins[0].utilization == pytest.approx(2.0)
+
+    def test_to_text_sparkline(self):
+        trace = make_trace([(IOOp.READ, 0, 0.0, 1.0, 1000)])
+        text = build_timeline(trace, n_bins=5).to_text(title="demo")
+        assert "demo" in text
+        assert "|" in text
+
+
+class TestTimelineOnRealWorkload:
+    def test_btio_dumps_are_visibly_phased(self):
+        """BTIO's periodic dumps should make a bursty timeline."""
+        from repro.apps.btio import BTIOConfig, run_btio
+        from repro.machine import sp2
+        cfg = BTIOConfig(class_name="W", measured_dumps=3,
+                         keep_trace_records=True)
+        res = run_btio(sp2(4), cfg, 4)
+        tl = build_timeline(res.trace, n_bins=50)
+        assert tl.burstiness() > 1.5
+        assert 0 < tl.active_fraction() < 1.0
+
+    def test_fft_io_is_sustained(self):
+        """The FFT is I/O all the way through: high active fraction."""
+        from repro.apps.fft2d import FFTConfig, run_fft
+        from repro.machine import paragon_small
+        cfg = FFTConfig(n=512, panel_memory_bytes=128 * 1024,
+                        keep_trace_records=True)
+        res = run_fft(paragon_small(4, 2), cfg, 4)
+        tl = build_timeline(res.trace, n_bins=40)
+        assert tl.active_fraction() > 0.9

@@ -1,0 +1,134 @@
+"""Tests for the Pablo-style trace collector and Table-2/3 summaries."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace import IOOp, IOSummary, TraceCollector, summarize
+
+
+def _fill(trace):
+    trace.record(IOOp.OPEN, 0, 0.0, 0.1, file="f")
+    trace.record(IOOp.READ, 0, 1.0, 2.0, nbytes=1000, file="f")
+    trace.record(IOOp.READ, 1, 1.5, 4.0, nbytes=3000, file="f")
+    trace.record(IOOp.WRITE, 0, 6.0, 1.0, nbytes=500, file="f")
+    trace.record(IOOp.SEEK, 1, 7.0, 0.01, file="f")
+    trace.record(IOOp.CLOSE, 0, 8.0, 0.05, file="f")
+
+
+class TestCollector:
+    def test_aggregates_per_op(self):
+        t = TraceCollector()
+        _fill(t)
+        rd = t.aggregate(IOOp.READ)
+        assert rd.count == 2
+        assert rd.time == pytest.approx(6.0)
+        assert rd.nbytes == 4000
+
+    def test_totals(self):
+        t = TraceCollector()
+        _fill(t)
+        assert t.total_count == 6
+        assert t.total_bytes == 4500
+        assert t.total_time == pytest.approx(7.16)
+
+    def test_per_rank_io_time(self):
+        t = TraceCollector()
+        _fill(t)
+        assert t.io_time_of_rank(0) == pytest.approx(3.15)
+        assert t.io_time_of_rank(1) == pytest.approx(4.01)
+        assert t.max_rank_io_time() == pytest.approx(4.01)
+
+    def test_records_kept_only_on_request(self):
+        t1, t2 = TraceCollector(), TraceCollector(keep_records=True)
+        _fill(t1)
+        _fill(t2)
+        assert t1.records == []
+        assert len(t2.records) == 6
+        assert t2.records[1].end == pytest.approx(3.0)
+
+    def test_ops_seen(self):
+        t = TraceCollector()
+        _fill(t)
+        assert IOOp.READ in t.ops_seen()
+        assert IOOp.FLUSH not in t.ops_seen()
+
+    def test_bandwidth(self):
+        t = TraceCollector()
+        _fill(t)
+        assert t.bandwidth(9.0) == pytest.approx(500.0)
+        assert t.bandwidth(0) == 0.0
+
+    def test_merge_folds_aggregates(self):
+        a, b = TraceCollector(), TraceCollector()
+        _fill(a)
+        _fill(b)
+        a.merge(b)
+        assert a.aggregate(IOOp.READ).count == 4
+        assert a.io_time_of_rank(0) == pytest.approx(6.30)
+
+    def test_reset(self):
+        t = TraceCollector(keep_records=True)
+        _fill(t)
+        t.reset()
+        assert t.total_count == 0
+        assert t.records == []
+
+    @given(durations=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_total_time_equals_sum_of_durations(self, durations):
+        t = TraceCollector()
+        for i, d in enumerate(durations):
+            t.record(IOOp.READ, i % 4, float(i), d, nbytes=1)
+        assert t.total_time == pytest.approx(sum(durations))
+        assert t.total_bytes == len(durations)
+
+
+class TestSummarize:
+    def test_percentages_sum_to_100(self):
+        t = TraceCollector()
+        _fill(t)
+        s = summarize(t, exec_time=20.0)
+        assert sum(r.pct_io_time for r in s.rows) == pytest.approx(100.0)
+        assert s.all.pct_io_time == 100.0
+
+    def test_pct_exec_time(self):
+        t = TraceCollector()
+        _fill(t)
+        s = summarize(t, exec_time=71.6)
+        assert s.all.pct_exec_time == pytest.approx(10.0)
+
+    def test_volume_only_for_data_ops(self):
+        t = TraceCollector()
+        _fill(t)
+        s = summarize(t, exec_time=10.0)
+        assert s.row(IOOp.READ).volume_gb is not None
+        assert s.row(IOOp.SEEK).volume_gb is None
+
+    def test_row_order_matches_paper(self):
+        t = TraceCollector()
+        _fill(t)
+        s = summarize(t, exec_time=10.0)
+        assert [r.op for r in s.rows] == ["Open", "Read", "Seek", "Write",
+                                          "Flush", "Close"]
+
+    def test_invalid_exec_time(self):
+        with pytest.raises(ValueError):
+            summarize(TraceCollector(), exec_time=0)
+
+    def test_to_text_contains_all_rows(self):
+        t = TraceCollector()
+        _fill(t)
+        text = summarize(t, exec_time=10.0).to_text("Title X")
+        assert "Title X" in text
+        for op in ("Open", "Read", "Seek", "Write", "Flush", "Close",
+                   "All I/O"):
+            assert op in text
+
+    def test_missing_row_lookup_raises(self):
+        t = TraceCollector()
+        s = summarize(t, exec_time=1.0)
+        assert s.row(IOOp.READ).count == 0
+        with pytest.raises(KeyError):
+            s.row("NotAnOp")

@@ -1,0 +1,88 @@
+"""Tests for trace CSV/JSON export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.trace import (
+    IOOp,
+    TraceCollector,
+    records_to_csv,
+    trace_to_json,
+    write_csv,
+    write_json,
+)
+
+
+def _trace(keep=True):
+    t = TraceCollector(keep_records=keep)
+    t.record(IOOp.READ, 0, 1.0, 2.5, nbytes=4096, file="a.dat")
+    t.record(IOOp.WRITE, 1, 4.0, 1.5, nbytes=1024, file="a.dat")
+    t.record(IOOp.SEEK, 1, 6.0, 0.001)
+    return t
+
+
+class TestCSV:
+    def test_round_trip_through_csv_reader(self):
+        text = records_to_csv(_trace())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 3
+        assert rows[0]["op"] == "Read"
+        assert float(rows[0]["duration"]) == 2.5
+        assert int(rows[1]["nbytes"]) == 1024
+        assert rows[2]["file"] == ""
+
+    def test_requires_records(self):
+        with pytest.raises(ValueError):
+            records_to_csv(_trace(keep=False))
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(_trace(), str(path))
+        assert path.read_text().startswith("op,rank,start")
+
+    def test_timestamps_survive_exactly(self):
+        """repr() serialization keeps float timestamps bit-exact."""
+        t = TraceCollector(keep_records=True)
+        value = 0.1 + 0.2          # famously not 0.3
+        t.record(IOOp.READ, 0, value, value, nbytes=1)
+        rows = list(csv.DictReader(io.StringIO(records_to_csv(t))))
+        assert float(rows[0]["start"]) == value
+
+
+class TestJSON:
+    def test_aggregates_present(self):
+        doc = json.loads(trace_to_json(_trace(), exec_time=20.0))
+        assert doc["totals"]["operations"] == 3
+        assert doc["totals"]["bytes"] == 5120
+        assert doc["per_op"]["Read"]["count"] == 1
+        assert "Flush" not in doc["per_op"]
+        assert doc["io_fraction"] == pytest.approx(4.001 / 20.0)
+
+    def test_records_included_on_request(self):
+        doc = json.loads(trace_to_json(_trace(), include_records=True))
+        assert len(doc["records"]) == 3
+        assert doc["records"][0]["file"] == "a.dat"
+
+    def test_records_without_keeping_rejected(self):
+        with pytest.raises(ValueError):
+            trace_to_json(_trace(keep=False), include_records=True)
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        write_json(_trace(), str(path), exec_time=10.0)
+        doc = json.loads(path.read_text())
+        assert doc["exec_time_s"] == 10.0
+
+    def test_export_from_real_run(self):
+        """End-to-end: export a real workload's trace."""
+        from repro.apps.btio import BTIOConfig, run_btio
+        from repro.machine import sp2
+        res = run_btio(sp2(4), BTIOConfig(class_name="S", measured_dumps=1,
+                                          keep_trace_records=True), 4)
+        doc = json.loads(trace_to_json(res.trace, exec_time=res.exec_time,
+                                       include_records=True))
+        assert doc["per_op"]["Write"]["count"] > 0
+        assert len(doc["records"]) == doc["totals"]["operations"]

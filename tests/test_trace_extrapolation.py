@@ -1,0 +1,52 @@
+"""Verify the SCF trace extrapolation reproduces full-run aggregates."""
+
+import pytest
+
+from repro.apps.scf11 import SCF11Config, run_scf11
+from repro.machine import paragon_large
+from repro.trace import IOOp
+
+
+def _traces(version):
+    base = SCF11Config(n_basis=108, version=version, n_iterations=5)
+    full = run_scf11(paragon_large(4, 12),
+                     base.with_(measured_read_iters=None), 4).trace
+    extrap = run_scf11(paragon_large(4, 12),
+                       base.with_(measured_read_iters=2), 4).trace
+    return full, extrap
+
+
+class TestExtrapolatedAggregates:
+    @pytest.mark.parametrize("version", ["original", "passion"])
+    def test_read_counts_match_exactly(self, version):
+        full, extrap = _traces(version)
+        assert extrap.aggregate(IOOp.READ).count == \
+            full.aggregate(IOOp.READ).count
+
+    @pytest.mark.parametrize("version", ["original", "passion"])
+    def test_read_volumes_match_exactly(self, version):
+        full, extrap = _traces(version)
+        assert extrap.aggregate(IOOp.READ).nbytes == \
+            full.aggregate(IOOp.READ).nbytes
+
+    @pytest.mark.parametrize("version", ["original", "passion"])
+    def test_seek_counts_match_exactly(self, version):
+        full, extrap = _traces(version)
+        assert extrap.aggregate(IOOp.SEEK).count == \
+            full.aggregate(IOOp.SEEK).count
+
+    @pytest.mark.parametrize("version", ["original", "passion"])
+    def test_read_times_match_approximately(self, version):
+        """Times extrapolate linearly; cache warm-up makes the first
+        measured pass slightly unrepresentative, so allow 15%."""
+        full, extrap = _traces(version)
+        t_full = full.aggregate(IOOp.READ).time
+        t_extrap = extrap.aggregate(IOOp.READ).time
+        assert t_extrap == pytest.approx(t_full, rel=0.15)
+
+    def test_write_phase_never_scaled(self):
+        full, extrap = _traces("passion")
+        assert extrap.aggregate(IOOp.WRITE).count == \
+            full.aggregate(IOOp.WRITE).count
+        assert extrap.aggregate(IOOp.WRITE).nbytes == \
+            full.aggregate(IOOp.WRITE).nbytes

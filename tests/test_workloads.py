@@ -1,0 +1,161 @@
+"""Tests for the synthetic-workload DSL."""
+
+import pytest
+
+from repro.iolib import UnixIO
+from repro.machine import paragon_small, sp2
+from repro.trace import IOOp
+from repro.workloads import (
+    BarrierPhase,
+    ComputePhase,
+    ReadPhase,
+    Repeat,
+    SyntheticWorkload,
+    WritePhase,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+class TestPhaseValidation:
+    def test_compute_phase(self):
+        with pytest.raises(ValueError):
+            ComputePhase(flops_per_rank=-1)
+
+    def test_io_phase_sizes(self):
+        with pytest.raises(ValueError):
+            WritePhase(file="f", bytes_per_rank=0, chunk_bytes=KB)
+        with pytest.raises(ValueError):
+            ReadPhase(file="f", bytes_per_rank=KB, chunk_bytes=0)
+
+    def test_pattern_validated(self):
+        with pytest.raises(ValueError):
+            WritePhase(file="f", bytes_per_rank=KB, chunk_bytes=KB,
+                       pattern="spiral")
+
+    def test_repeat_validated(self):
+        with pytest.raises(ValueError):
+            Repeat(0, [BarrierPhase()])
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload("empty", [])
+
+
+class TestRequestGeneration:
+    def test_contiguous_requests(self):
+        ph = WritePhase(file="f", bytes_per_rank=4 * KB, chunk_bytes=KB)
+        reqs = ph.requests(rank=2, n_ranks=4)
+        assert [r.offset for r in reqs] == [8 * KB, 9 * KB, 10 * KB,
+                                            11 * KB]
+        assert all(r.nbytes == KB for r in reqs)
+
+    def test_strided_requests(self):
+        ph = WritePhase(file="f", bytes_per_rank=3 * KB, chunk_bytes=KB,
+                        pattern="strided")
+        reqs = ph.requests(rank=1, n_ranks=4)
+        assert [r.offset for r in reqs] == [KB, 5 * KB, 9 * KB]
+
+    def test_tail_chunk_shorter(self):
+        ph = ReadPhase(file="f", bytes_per_rank=2500, chunk_bytes=KB)
+        reqs = ph.requests(0, 2)
+        assert [r.nbytes for r in reqs] == [1024, 1024, 452]
+
+    def test_base_offset_shifts_everything(self):
+        ph = WritePhase(file="f", bytes_per_rank=KB, chunk_bytes=KB,
+                        base_offset=1 * MB)
+        assert ph.requests(0, 2)[0].offset == 1 * MB
+
+    def test_ranks_cover_disjoint_regions(self):
+        ph = WritePhase(file="f", bytes_per_rank=4 * KB, chunk_bytes=KB,
+                        pattern="strided")
+        seen = set()
+        for rank in range(4):
+            for r in ph.requests(rank, 4):
+                span = (r.offset, r.offset + r.nbytes)
+                assert span not in seen
+                seen.add(span)
+
+
+class TestExecution:
+    def _basic(self):
+        return SyntheticWorkload("basic", [
+            ComputePhase(flops_per_rank=1e7),
+            WritePhase(file="data", bytes_per_rank=256 * KB,
+                       chunk_bytes=64 * KB),
+            ReadPhase(file="data", bytes_per_rank=256 * KB,
+                      chunk_bytes=64 * KB),
+        ])
+
+    def test_basic_run_produces_result(self):
+        res = self._basic().run(paragon_small(4, 2), 4)
+        assert res.app == "synthetic:basic"
+        assert res.exec_time > 0
+        assert 0 < res.io_time < res.exec_time
+        assert res.trace.aggregate(IOOp.WRITE).nbytes == 4 * 256 * KB
+        assert res.trace.aggregate(IOOp.READ).nbytes == 4 * 256 * KB
+
+    def test_total_bytes_accounting(self):
+        wl = SyntheticWorkload("acct", [
+            Repeat(3, [WritePhase(file="a", bytes_per_rank=KB,
+                                  chunk_bytes=KB)]),
+            ReadPhase(file="a", bytes_per_rank=2 * KB, chunk_bytes=KB),
+        ])
+        assert wl.total_bytes(4) == 3 * 4 * KB + 4 * 2 * KB
+
+    def test_repeat_multiplies_io(self):
+        wl1 = SyntheticWorkload("w1", [
+            WritePhase(file="a", bytes_per_rank=64 * KB,
+                       chunk_bytes=64 * KB)])
+        wl3 = SyntheticWorkload("w3", [
+            Repeat(3, [WritePhase(file="a", bytes_per_rank=64 * KB,
+                                  chunk_bytes=64 * KB)])])
+        r1 = wl1.run(paragon_small(4, 2), 2)
+        r3 = wl3.run(paragon_small(4, 2), 2)
+        assert r3.trace.aggregate(IOOp.WRITE).count == \
+            3 * r1.trace.aggregate(IOOp.WRITE).count
+
+    def test_collective_strided_beats_independent(self):
+        def wl(collective):
+            return SyntheticWorkload("c", [
+                WritePhase(file="shared", bytes_per_rank=512 * KB,
+                           chunk_bytes=2 * KB, pattern="strided",
+                           collective=collective),
+            ])
+        # Unix interface on an SP-2 (shared-file token, seek-heavy).
+        t_ind = wl(False).run(sp2(9), 9, interface_cls=UnixIO).io_time
+        t_col = wl(True).run(sp2(9), 9).io_time
+        assert t_col < 0.5 * t_ind
+
+    def test_interface_choice_matters(self):
+        wl = self._basic()
+        t_unix = wl.run(paragon_small(4, 2), 4,
+                        interface_cls=UnixIO).io_time
+        t_passion = wl.run(paragon_small(4, 2), 4).io_time
+        assert t_passion < t_unix
+
+    def test_sp2_preset_uses_piofs(self):
+        res = self._basic().run(sp2(4), 4)
+        assert res.exec_time > 0
+
+    def test_barrier_phase_synchronizes(self):
+        wl = SyntheticWorkload("b", [
+            ComputePhase(flops_per_rank=1e6),
+            BarrierPhase(),
+            ComputePhase(flops_per_rank=1e6),
+        ])
+        res = wl.run(paragon_small(4, 2), 4)
+        assert res.io_time == 0.0
+
+    def test_results_feed_the_planner(self):
+        from repro.advisor import OptimizationPlanner, WorkloadProfile
+        wl = SyntheticWorkload("tiny-writes", [
+            Repeat(4, [WritePhase(file="shared", bytes_per_rank=256 * KB,
+                                  chunk_bytes=KB, pattern="strided")]),
+        ])
+        res = wl.run(sp2(4), 4, interface_cls=UnixIO)
+        prof = WorkloadProfile.from_result(res, interface="unix",
+                                           shared_file=True)
+        techs = OptimizationPlanner().techniques(prof)
+        assert techs and techs[0] == "collective I/O"
