@@ -5,6 +5,13 @@ paper at full (paper) scale, prints the reproduced artifact, and asserts
 the paper's qualitative claims (the experiment's ``checks``).  Timings
 reported by pytest-benchmark are the wall cost of the simulation itself.
 
+Runs go through :func:`repro.runner.run_cached`, so each job's result is
+persisted content-addressed under ``.repro-cache/``: re-running the
+benchmark suite (or mixing it with ``python -m repro run``) reuses every
+simulation that already ran for the same code version and config.
+Delete the cache (``python -m repro cache clear``) or export
+``REPRO_CACHE_DIR`` to time cold simulations.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -12,13 +19,13 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments import run_experiment
+from repro.runner import run_cached
 
 
 def reproduce(benchmark, exp_id: str, quick: bool = False):
     """Run one registered experiment under the benchmark harness."""
     result = benchmark.pedantic(
-        lambda: run_experiment(exp_id, quick=quick),
+        lambda: run_cached(exp_id, quick=quick),
         rounds=1, iterations=1)
     print()
     print(result.to_text())

@@ -4,20 +4,42 @@ Usage::
 
     python -m repro list
     python -m repro run fig5 --quick
-    python -m repro run all
+    python -m repro run all --quick --jobs 4
+    python -m repro run all --no-cache
+    python -m repro cache stats
     python -m repro info
+
+Runs go through :mod:`repro.runner`: experiments decompose into
+independent jobs executed on ``--jobs`` worker processes, and every job
+result is cached content-addressed under ``.repro-cache/`` so repeated
+invocations only pay for what changed.  Tables and progress go to
+stdout/stderr exactly as before; ``--no-cache`` restores the
+recompute-everything behavior.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 from repro._version import __version__
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1, inline)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="neither read nor write the result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="ignore cached results but store fresh ones")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-job wall-clock limit (needs --jobs >= 2)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache root (default: .repro-cache or "
+                             "$REPRO_CACHE_DIR)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +58,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment id (e.g. fig2, table4) or 'all'")
     run.add_argument("--quick", action="store_true",
                      help="scaled-down configuration (seconds, not minutes)")
+    _add_runner_args(run)
 
     sub.add_parser("info", help="summarize the paper, apps and platforms")
 
@@ -45,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output path (default: report.md)")
     report.add_argument("--quick", action="store_true",
                         help="scaled-down configurations")
+    _add_runner_args(report)
+
+    cache = sub.add_parser("cache", help="inspect or manage the result cache")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache root (default: .repro-cache or "
+                            "$REPRO_CACHE_DIR)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry count, size, last run summary")
+    cache_sub.add_parser("clear", help="delete every cached result")
+    gc = cache_sub.add_parser("gc", help="LRU-evict down to a size budget")
+    gc.add_argument("--max-mb", type=float, required=True,
+                    help="keep at most this many MB of cached results")
     return parser
 
 
@@ -58,20 +93,39 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(exp_id: str, quick: bool) -> int:
-    from repro.experiments import EXPERIMENTS, run_experiment
+def _run_via_runner(targets: List[str], quick: bool, args):
+    from repro.runner import ProgressTracker, ResultStore, run_experiments
+
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    progress = ProgressTracker(stream=sys.stderr)
+    report = run_experiments(
+        targets, quick=quick, jobs=args.jobs,
+        use_cache=not args.no_cache, refresh=args.refresh,
+        timeout_s=args.timeout, store=store, progress=progress)
+    print(report.summary_text(), file=sys.stderr)
+    return report
+
+
+def _cmd_run(exp_id: str, quick: bool, args) -> int:
+    from repro.experiments import EXPERIMENTS
 
     targets = list(EXPERIMENTS) if exp_id == "all" else [exp_id]
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; "
+              f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    report = _run_via_runner(targets, quick, args)
     failures = 0
     for target in targets:
-        t0 = time.time()
-        try:
-            result = run_experiment(target, quick=quick)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
+        if target in report.errors:
+            print(f"{target}: FAILED — {report.errors[target]}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        result = report.results[target]
         print(result.to_text())
-        print(f"  ({time.time() - t0:.1f}s host time)")
+        print(f"  ({report.exp_wall_s(target):.1f}s host time)")
         print()
         if not result.all_checks_pass:
             failures += 1
@@ -103,20 +157,54 @@ def _cmd_info() -> int:
     return 0
 
 
-def _cmd_report(output: str, quick: bool) -> int:
-    from repro.experiments import run_all
+def _cmd_report(output: str, quick: bool, args) -> int:
+    from repro.experiments import experiment_ids
     from repro.experiments.report import render_markdown
 
-    results = run_all(quick=quick)
-    text = render_markdown(results, quick=quick)
+    report = _run_via_runner(experiment_ids(), quick, args)
+    text = render_markdown(report.results, quick=quick)
     with open(output, "w") as fh:
         fh.write(text)
-    failing = [eid for eid, r in results.items() if not r.all_checks_pass]
-    print(f"wrote {output} ({len(results)} artifacts)")
+    print(f"wrote {output} ({len(report.results)} artifacts)")
+    if report.errors:
+        print(f"failed to run: {', '.join(report.errors)}", file=sys.stderr)
+        return 1
+    failing = [eid for eid, r in report.results.items()
+               if not r.all_checks_pass]
     if failing:
         print(f"failing checks in: {', '.join(failing)}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runner import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.cache_command == "stats":
+        count = store.count()
+        size = store.size_bytes()
+        print(f"cache root: {store.root}")
+        print(f"entries: {count}  ({size / 1024:.1f} KB)")
+        last = store.read_last_run()
+        if last:
+            print(f"last run: {last.get('jobs', 0)} job(s), "
+                  f"{last.get('cached', 0)} cached / "
+                  f"{last.get('computed', 0)} computed / "
+                  f"{last.get('failed', 0)} failed "
+                  f"({last.get('hit_rate', 0.0):.0%} hit rate, "
+                  f"wall {last.get('wall_s', 0.0):.1f}s)")
+        return 0
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        return 0
+    if args.cache_command == "gc":
+        removed = store.evict(int(args.max_mb * 1024 * 1024))
+        print(f"evicted {removed} entr(ies); "
+              f"{store.size_bytes() / 1024:.1f} KB remain in {store.root}")
+        return 0
+    raise AssertionError("unreachable")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -124,11 +212,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiment, args.quick)
+        return _cmd_run(args.experiment, args.quick, args)
     if args.command == "info":
         return _cmd_info()
     if args.command == "report":
-        return _cmd_report(args.output, args.quick)
+        return _cmd_report(args.output, args.quick, args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError("unreachable")
 
 

@@ -11,6 +11,7 @@ encode the paper's qualitative claims (orderings, crossovers, bands).
 from repro.experiments.results import ExperimentResult, Series, ascii_chart
 from repro.experiments.registry import (
     EXPERIMENTS,
+    ExperimentSuiteError,
     experiment_ids,
     run_all,
     run_experiment,
@@ -27,6 +28,7 @@ __all__ = [
     "Series",
     "ascii_chart",
     "EXPERIMENTS",
+    "ExperimentSuiteError",
     "experiment_ids",
     "run_all",
     "run_experiment",

@@ -1,16 +1,26 @@
-"""BTIO experiments: Figure 6 (collective I/O) and Figure 7 (bandwidth)."""
+"""BTIO experiments: Figure 6 (collective I/O) and Figure 7 (bandwidth).
+
+Both figures follow the runner's sweep-point protocol (``*_points`` /
+``*_run_point`` / ``*_assemble``); the plain ``fig6``/``fig7`` callables
+are the serial composition of the three and stay the registry entry
+points.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.apps.btio import BTIOConfig, run_btio
 from repro.experiments.results import ExperimentResult, Series
 from repro.machine.presets import sp2
 
-__all__ = ["fig6", "fig7"]
+__all__ = ["fig6", "fig6_points", "fig6_run_point", "fig6_assemble",
+           "fig7", "fig7_points", "fig7_run_point", "fig7_assemble"]
 
 _MB = 1024 * 1024
+
+#: (BTIOConfig.version, series label prefix) for Figure 6.
+_FIG6_VARIANTS = [("unoptimized", "unopt"), ("collective", "collective")]
 
 
 def _run(class_name: str, version: str, p: int, dumps: int):
@@ -19,16 +29,33 @@ def _run(class_name: str, version: str, p: int, dumps: int):
     return config, run_btio(sp2(n_compute=max(p, 4)), config, p)
 
 
-def fig6(quick: bool = False) -> ExperimentResult:
-    """Figure 6: BTIO Class A I/O and total time vs processors.
-
-    Paper claims: the unoptimized I/O time varies drastically with the
-    processor count and stops the execution time from improving around 36
-    processors; two-phase collective I/O removes the pathology, cutting
-    total time by 46%/49% at 36/64 processors.
-    """
+def _fig6_params(quick: bool) -> Tuple[List[int], int]:
     procs = [4, 16, 36] if quick else [4, 9, 16, 25, 36, 49, 64]
     dumps = 1 if quick else 2
+    return procs, dumps
+
+
+def fig6_points(quick: bool = False) -> List[dict]:
+    """Figure 6's sweep points as declared config dicts."""
+    procs, dumps = _fig6_params(quick)
+    return [{"class": "A", "version": version, "label": label, "p": p,
+             "dumps": dumps}
+            for version, label in _FIG6_VARIANTS for p in procs]
+
+
+def fig6_run_point(point: dict) -> dict:
+    """Simulate one Figure-6 configuration; returns a JSON-able payload."""
+    _, res = _run(point["class"], point["version"], point["p"],
+                  point["dumps"])
+    return {**point, "io_time": res.io_time, "exec_time": res.exec_time}
+
+
+def fig6_assemble(point_results: Sequence[dict],
+                  quick: bool = False) -> ExperimentResult:
+    """Fold the sweep-point payloads into the Figure-6 result."""
+    procs, _ = _fig6_params(quick)
+    by_point: Dict[Tuple[str, int], dict] = {
+        (r["label"], r["p"]): r for r in point_results}
     exp = ExperimentResult(
         exp_id="fig6",
         title="BTIO Class A: effect of two-phase collective I/O",
@@ -36,15 +63,14 @@ def fig6(quick: bool = False) -> ExperimentResult:
                         "procs; 408.9 MB total I/O]",
     )
     values: Dict[Tuple[str, int], Tuple[float, float]] = {}
-    for version, label in [("unoptimized", "unopt"),
-                           ("collective", "collective")]:
+    for version, label in _FIG6_VARIANTS:
         s_io = Series(f"{label} io")
         s_exec = Series(f"{label} exec")
         for p in procs:
-            _, res = _run("A", version, p, dumps)
-            s_io.add(p, res.io_time)
-            s_exec.add(p, res.exec_time)
-            values[(label, p)] = (res.exec_time, res.io_time)
+            r = by_point[(label, p)]
+            s_io.add(p, r["io_time"])
+            s_exec.add(p, r["exec_time"])
+            values[(label, p)] = (r["exec_time"], r["io_time"])
         exp.series.extend([s_io, s_exec])
 
     for p in procs:
@@ -76,14 +102,50 @@ def fig6(quick: bool = False) -> ExperimentResult:
     return exp
 
 
-def fig7(quick: bool = False) -> ExperimentResult:
-    """Figure 7: I/O bandwidths of original and optimized BTIO.
+def fig6(quick: bool = False) -> ExperimentResult:
+    """Figure 6: BTIO Class A I/O and total time vs processors.
 
-    Paper: original 0.97-1.5 MB/s; optimized 6.6-31.4 MB/s (Class A and
-    Class B inputs).
+    Paper claims: the unoptimized I/O time varies drastically with the
+    processor count and stops the execution time from improving around 36
+    processors; two-phase collective I/O removes the pathology, cutting
+    total time by 46%/49% at 36/64 processors.
     """
+    return fig6_assemble([fig6_run_point(pt) for pt in fig6_points(quick)],
+                         quick=quick)
+
+
+def _fig7_params(quick: bool) -> Tuple[List[int], List[str]]:
     procs = [16, 36] if quick else [16, 36, 64]
     classes = ["A"] if quick else ["A", "B"]
+    return procs, classes
+
+
+def fig7_points(quick: bool = False) -> List[dict]:
+    """Figure 7's sweep points as declared config dicts."""
+    procs, classes = _fig7_params(quick)
+    points = []
+    for class_name in classes:
+        dumps = 1 if (quick or class_name == "B") else 2
+        for p in procs:
+            for version in ("unoptimized", "collective"):
+                points.append({"class": class_name, "version": version,
+                               "p": p, "dumps": dumps})
+    return points
+
+
+def fig7_run_point(point: dict) -> dict:
+    """Simulate one Figure-7 configuration; returns a JSON-able payload."""
+    config, res = _run(point["class"], point["version"], point["p"],
+                       point["dumps"])
+    return {**point, "bw": res.bandwidth_mb_s(config.total_io_bytes)}
+
+
+def fig7_assemble(point_results: Sequence[dict],
+                  quick: bool = False) -> ExperimentResult:
+    """Fold the sweep-point payloads into the Figure-7 result."""
+    procs, classes = _fig7_params(quick)
+    by_point: Dict[Tuple[str, str, int], dict] = {
+        (r["class"], r["version"], r["p"]): r for r in point_results}
     exp = ExperimentResult(
         exp_id="fig7",
         title="BTIO I/O bandwidth, original vs two-phase collective",
@@ -93,16 +155,13 @@ def fig7(quick: bool = False) -> ExperimentResult:
     orig_bws = []
     opt_bws = []
     for class_name in classes:
-        dumps = 1 if (quick or class_name == "B") else 2
         s_orig = Series(f"class {class_name} original")
         s_opt = Series(f"class {class_name} optimized")
         for p in procs:
-            config, res = _run(class_name, "unoptimized", p, dumps)
-            bw_o = res.bandwidth_mb_s(config.total_io_bytes)
+            bw_o = by_point[(class_name, "unoptimized", p)]["bw"]
             s_orig.add(p, bw_o)
             orig_bws.append(bw_o)
-            config, res = _run(class_name, "collective", p, dumps)
-            bw_c = res.bandwidth_mb_s(config.total_io_bytes)
+            bw_c = by_point[(class_name, "collective", p)]["bw"]
             s_opt.add(p, bw_c)
             opt_bws.append(bw_c)
         exp.series.extend([s_orig, s_opt])
@@ -119,3 +178,13 @@ def fig7(quick: bool = False) -> ExperimentResult:
     exp.add_check("optimization improves bandwidth by >5x everywhere",
                   min(opt_bws) > 5 * max(orig_bws) / 2.5)
     return exp
+
+
+def fig7(quick: bool = False) -> ExperimentResult:
+    """Figure 7: I/O bandwidths of original and optimized BTIO.
+
+    Paper: original 0.97-1.5 MB/s; optimized 6.6-31.4 MB/s (Class A and
+    Class B inputs).
+    """
+    return fig7_assemble([fig7_run_point(pt) for pt in fig7_points(quick)],
+                         quick=quick)

@@ -1,22 +1,31 @@
-"""FFT experiment: Figure 5 (file-layout optimization)."""
+"""FFT experiment: Figure 5 (file-layout optimization).
+
+Figure 5 follows the runner's sweep-point protocol: ``fig5_points``
+declares every (variant, processor-count) configuration as a plain
+config dict, ``fig5_run_point`` simulates one of them and returns a
+JSON-able payload, and ``fig5_assemble`` folds the payloads into the
+:class:`ExperimentResult` with the paper's checks.  ``fig5`` itself is
+the serial composition of the three, so running it directly and running
+its points through :mod:`repro.runner` produce identical results.
+"""
 
 from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
 
 from repro.apps.fft2d import FFTConfig, run_fft
 from repro.experiments.results import ExperimentResult, Series
 from repro.machine.presets import paragon_small
 
-__all__ = ["fig5"]
+__all__ = ["fig5", "fig5_points", "fig5_run_point", "fig5_assemble"]
+
+#: (series label prefix, FFTConfig.version, I/O-node count)
+_VARIANTS = [("unopt 2io", "unoptimized", 2),
+             ("unopt 4io", "unoptimized", 4),
+             ("layout 2io", "layout", 2)]
 
 
-def fig5(quick: bool = False) -> ExperimentResult:
-    """Figure 5: FFT I/O and total times for three configurations.
-
-    Paper claims: the unoptimized 2-I/O-node I/O time *increases* beyond
-    4 compute nodes (beyond 8 for 4 I/O nodes); the layout-optimized
-    program on 2 I/O nodes beats the unoptimized one on 4 I/O nodes at
-    every processor count; I/O is 90-95% of the execution time.
-    """
+def _params(quick: bool) -> Tuple[int, int, List[int]]:
     n = 1024 if quick else 4096
     # Keep the run genuinely out-of-core in quick mode: panel memory must
     # be well below one array (n=1024 array is 16 MB).
@@ -25,29 +34,50 @@ def fig5(quick: bool = False) -> ExperimentResult:
     # partitions; its plotted range is the small-processor regime where
     # the machine is balanced enough for software effects to show.
     procs = [1, 4, 8] if quick else [1, 2, 4, 8]
+    return n, panel_mem, procs
+
+
+def fig5_points(quick: bool = False) -> List[dict]:
+    """Figure 5's sweep points as declared config dicts."""
+    n, panel_mem, procs = _params(quick)
+    return [{"label": label, "version": version, "n_io": n_io, "p": p,
+             "n": n, "panel_memory_bytes": panel_mem}
+            for label, version, n_io in _VARIANTS for p in procs]
+
+
+def fig5_run_point(point: dict) -> dict:
+    """Simulate one Figure-5 configuration; returns a JSON-able payload."""
+    config = FFTConfig(n=point["n"], version=point["version"],
+                       panel_memory_bytes=point["panel_memory_bytes"])
+    res = run_fft(paragon_small(n_compute=max(point["p"], 1),
+                                n_io=point["n_io"]),
+                  config, point["p"])
+    return {**point, "io_time": res.io_time, "exec_time": res.exec_time}
+
+
+def fig5_assemble(point_results: Sequence[dict],
+                  quick: bool = False) -> ExperimentResult:
+    """Fold the sweep-point payloads into the Figure-5 result."""
+    n, _, procs = _params(quick)
+    by_point: Dict[Tuple[str, int], dict] = {
+        (r["label"], r["p"]): r for r in point_results}
     exp = ExperimentResult(
         exp_id="fig5",
         title="FFT: effect of file-layout optimization",
         paper_reference="Figure 5 [1.5 GB total I/O; optimized 2-I/O-node "
                         "version beats unoptimized 4-I/O-node version]",
     )
-    variants = [("unopt 2io", "unoptimized", 2),
-                ("unopt 4io", "unoptimized", 4),
-                ("layout 2io", "layout", 2)]
     io_frac_min = 1.0
-    for label, version, n_io in variants:
+    for label, version, n_io in _VARIANTS:
         s_io = Series(f"{label} io")
         s_exec = Series(f"{label} exec")
         for p in procs:
-            config = FFTConfig(n=n, version=version,
-                               panel_memory_bytes=panel_mem)
-            res = run_fft(paragon_small(n_compute=max(p, 1), n_io=n_io),
-                          config, p)
-            s_io.add(p, res.io_time)
-            s_exec.add(p, res.exec_time)
-            if res.exec_time > 0:
+            r = by_point[(label, p)]
+            s_io.add(p, r["io_time"])
+            s_exec.add(p, r["exec_time"])
+            if r["exec_time"] > 0:
                 io_frac_min = min(io_frac_min,
-                                  res.io_time / res.exec_time)
+                                  r["io_time"] / r["exec_time"])
         exp.series.extend([s_io, s_exec])
 
     u2 = exp.series_by_label("unopt 2io io")
@@ -84,3 +114,15 @@ def fig5(quick: bool = False) -> ExperimentResult:
                      f"{FFTConfig(n=n).total_io_bytes / 2**30:.2f} GiB "
                      f"(paper: ~1.5 GB at n=4096)")
     return exp
+
+
+def fig5(quick: bool = False) -> ExperimentResult:
+    """Figure 5: FFT I/O and total times for three configurations.
+
+    Paper claims: the unoptimized 2-I/O-node I/O time *increases* beyond
+    4 compute nodes (beyond 8 for 4 I/O nodes); the layout-optimized
+    program on 2 I/O nodes beats the unoptimized one on 4 I/O nodes at
+    every processor count; I/O is 90-95% of the execution time.
+    """
+    return fig5_assemble([fig5_run_point(pt) for pt in fig5_points(quick)],
+                         quick=quick)

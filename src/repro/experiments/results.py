@@ -38,6 +38,16 @@ class Series:
         return all(b[1] >= a[1] for a, b in zip(tail, tail[1:])) \
             and len(tail) >= 2
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (round-trips via from_dict)."""
+        return {"label": self.label,
+                "points": [[x, y] for x, y in self.points]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Series":
+        return cls(label=str(data["label"]),
+                   points=[(float(x), float(y)) for x, y in data["points"]])
+
 
 @dataclass
 class ExperimentResult:
@@ -67,6 +77,37 @@ class ExperimentResult:
     @property
     def all_checks_pass(self) -> bool:
         return all(self.checks.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation (round-trips via from_dict).
+
+        ``rows`` are passed through as-is and must hold JSON-compatible
+        values (every registered experiment's rows do).
+        """
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "paper_reference": self.paper_reference,
+            "series": [s.to_dict() for s in self.series],
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+            "checks": {name: bool(ok) for name, ok in self.checks.items()},
+            "text": self.text,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentResult":
+        return cls(
+            exp_id=str(data["exp_id"]),
+            title=str(data["title"]),
+            paper_reference=str(data["paper_reference"]),
+            series=[Series.from_dict(s) for s in data.get("series", [])],
+            rows=[dict(row) for row in data.get("rows", [])],
+            notes=list(data.get("notes", [])),
+            checks={name: bool(ok)
+                    for name, ok in data.get("checks", {}).items()},
+            text=data.get("text"),
+        )
 
     def to_text(self) -> str:
         """Human-readable report block."""

@@ -1,9 +1,16 @@
-"""SCF 1.1 experiments: Tables 2/3 and Figures 1-3."""
+"""SCF 1.1 experiments: Tables 2/3 and Figures 1-3.
+
+The figure experiments follow the runner's sweep-point protocol
+(``*_points`` / ``*_run_point`` / ``*_assemble``); the plain
+``fig1``/``fig2``/``fig3`` callables are the serial composition of the
+three and stay the registry entry points.  The table experiments are a
+single simulation each and are left whole.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.scf11 import SCF11Config, SCF11_INPUTS, run_scf11
 from repro.experiments.results import ExperimentResult, Series
@@ -12,7 +19,9 @@ from repro.machine.presets import paragon_large
 from repro.trace import IOOp, summarize
 
 __all__ = ["ConfigTuple", "FIG1_TUPLES", "run_tuple", "table2", "table3",
-           "fig1", "fig2", "fig3"]
+           "fig1", "fig1_points", "fig1_run_point", "fig1_assemble",
+           "fig2", "fig2_points", "fig2_run_point", "fig2_assemble",
+           "fig3", "fig3_points", "fig3_run_point", "fig3_assemble"]
 
 #: Version letter -> SCF11Config.version
 _VERSIONS = {"O": "original", "P": "passion", "F": "prefetch"}
@@ -139,28 +148,52 @@ def table3(quick: bool = False) -> ExperimentResult:
     return exp
 
 
-def fig1(quick: bool = False) -> ExperimentResult:
-    """Figure 1: incremental optimizations across input sizes."""
+def _fig1_params(quick: bool) -> Tuple[Dict[str, int], int]:
     inputs = {"SMALL": SCF11_INPUTS["SMALL"]} if quick else dict(SCF11_INPUTS)
     miters = 1 if quick else 2
+    return inputs, miters
+
+
+def fig1_points(quick: bool = False) -> List[dict]:
+    """Figure 1's sweep points as declared config dicts."""
+    inputs, miters = _fig1_params(quick)
+    return [{"input": label, "n_basis": n_basis, "tuple_index": idx,
+             "tuple": tup.name, "measured_read_iters": miters}
+            for label, n_basis in inputs.items()
+            for idx, tup in enumerate(FIG1_TUPLES)]
+
+
+def fig1_run_point(point: dict) -> dict:
+    """Simulate one Figure-1 configuration; returns a JSON-able payload."""
+    res = run_tuple(FIG1_TUPLES[point["tuple_index"]], point["n_basis"],
+                    measured_read_iters=point["measured_read_iters"])
+    return {**point, "exec_time": res.exec_time, "io_time": res.io_time}
+
+
+def fig1_assemble(point_results: Sequence[dict],
+                  quick: bool = False) -> ExperimentResult:
+    """Fold the sweep-point payloads into the Figure-1 result."""
+    inputs, _ = _fig1_params(quick)
+    by_point: Dict[Tuple[str, int], dict] = {
+        (r["input"], r["tuple_index"]): r for r in point_results}
     exp = ExperimentResult(
         exp_id="fig1",
         title="SCF 1.1: impact of optimizations, config tuples I-VII",
         paper_reference="Figure 1 [application-level factors dominate "
                         "system-level factors at small processor counts]",
     )
-    for label, n_basis in inputs.items():
+    for label in inputs:
         s_exec = Series(f"{label} exec")
         s_io = Series(f"{label} io")
         per_tuple: Dict[str, Tuple[float, float]] = {}
         for idx, tup in enumerate(FIG1_TUPLES):
-            res = run_tuple(tup, n_basis, measured_read_iters=miters)
-            s_exec.add(idx + 1, res.exec_time)
-            s_io.add(idx + 1, res.io_time)
-            per_tuple[tup.name] = (res.exec_time, res.io_time)
+            r = by_point[(label, idx)]
+            s_exec.add(idx + 1, r["exec_time"])
+            s_io.add(idx + 1, r["io_time"])
+            per_tuple[tup.name] = (r["exec_time"], r["io_time"])
             exp.rows.append({"input": label, "tuple": str(tup),
-                             "exec_s": round(res.exec_time, 1),
-                             "io_s": round(res.io_time, 1)})
+                             "exec_s": round(r["exec_time"], 1),
+                             "io_s": round(r["io_time"], 1)})
         exp.series.extend([s_exec, s_io])
         # Application-level steps: O->P (interface), P->F (prefetch).
         exp.add_check(
@@ -182,32 +215,60 @@ def fig1(quick: bool = False) -> ExperimentResult:
     return exp
 
 
-def fig2(quick: bool = False) -> ExperimentResult:
-    """Figure 2: optimized-vs-unoptimized across processor counts.
+def fig1(quick: bool = False) -> ExperimentResult:
+    """Figure 1: incremental optimizations across input sizes."""
+    return fig1_assemble([fig1_run_point(pt) for pt in fig1_points(quick)],
+                         quick=quick)
 
-    The paper's claim: optimized (prefetch, 16 I/O nodes) wins up to 64
-    processors; beyond that the unoptimized code on 64 I/O nodes wins —
-    software can compensate for limited I/O resources only so far.
-    """
+
+#: (series label, SCF11Config.version, I/O-node count) for Figure 2.
+_FIG2_VARIANTS = [("unopt 16io", "original", 16),
+                  ("unopt 64io", "original", 64),
+                  ("opt 16io", "prefetch", 16),
+                  ("opt 64io", "prefetch", 64)]
+
+
+def _fig2_params(quick: bool) -> Tuple[int, List[int], int]:
     n_basis = SCF11_INPUTS["MEDIUM" if quick else "LARGE"]
     procs = [4, 16, 64] if quick else [4, 16, 64, 128, 256]
     miters = 1 if quick else 2
+    return n_basis, procs, miters
+
+
+def fig2_points(quick: bool = False) -> List[dict]:
+    """Figure 2's sweep points as declared config dicts."""
+    n_basis, procs, miters = _fig2_params(quick)
+    return [{"label": label, "version": version, "n_io": n_io, "p": p,
+             "n_basis": n_basis, "measured_read_iters": miters}
+            for label, version, n_io in _FIG2_VARIANTS for p in procs]
+
+
+def fig2_run_point(point: dict) -> dict:
+    """Simulate one Figure-2 configuration; returns a JSON-able payload."""
+    config = SCF11Config(n_basis=point["n_basis"], version=point["version"],
+                         measured_read_iters=point["measured_read_iters"])
+    res = run_scf11(paragon_large(n_compute=max(point["p"], 4),
+                                  n_io=point["n_io"]),
+                    config, point["p"])
+    return {**point, "exec_time": res.exec_time}
+
+
+def fig2_assemble(point_results: Sequence[dict],
+                  quick: bool = False) -> ExperimentResult:
+    """Fold the sweep-point payloads into the Figure-2 result."""
+    _, procs, _ = _fig2_params(quick)
+    by_point: Dict[Tuple[str, int], dict] = {
+        (r["label"], r["p"]): r for r in point_results}
     exp = ExperimentResult(
         exp_id="fig2",
         title="SCF 1.1 scalability: optimization vs I/O resources",
         paper_reference="Figure 2 [crossover at ~64 procs between "
                         "optimized/16-I/O-nodes and unoptimized/64]",
     )
-    variants = [("unopt 16io", "original", 16), ("unopt 64io", "original", 64),
-                ("opt 16io", "prefetch", 16), ("opt 64io", "prefetch", 64)]
-    for label, version, n_io in variants:
+    for label, version, n_io in _FIG2_VARIANTS:
         s = Series(label)
         for p in procs:
-            config = SCF11Config(n_basis=n_basis, version=version,
-                                 measured_read_iters=miters)
-            res = run_scf11(paragon_large(n_compute=max(p, 4), n_io=n_io),
-                            config, p)
-            s.add(p, res.exec_time)
+            s.add(p, by_point[(label, p)]["exec_time"])
         exp.series.append(s)
     opt16 = exp.series_by_label("opt 16io")
     unopt16 = exp.series_by_label("unopt 16io")
@@ -240,11 +301,48 @@ def fig2(quick: bool = False) -> ExperimentResult:
     return exp
 
 
-def fig3(quick: bool = False) -> ExperimentResult:
-    """Figure 3: effect of the I/O-node count on SCF 1.1."""
+def fig2(quick: bool = False) -> ExperimentResult:
+    """Figure 2: optimized-vs-unoptimized across processor counts.
+
+    The paper's claim: optimized (prefetch, 16 I/O nodes) wins up to 64
+    processors; beyond that the unoptimized code on 64 I/O nodes wins —
+    software can compensate for limited I/O resources only so far.
+    """
+    return fig2_assemble([fig2_run_point(pt) for pt in fig2_points(quick)],
+                         quick=quick)
+
+
+def _fig3_params(quick: bool) -> Tuple[int, List[int], int]:
     n_basis = SCF11_INPUTS["MEDIUM" if quick else "LARGE"]
     procs = [4, 64] if quick else [4, 16, 64, 256]
     miters = 1 if quick else 2
+    return n_basis, procs, miters
+
+
+def fig3_points(quick: bool = False) -> List[dict]:
+    """Figure 3's sweep points as declared config dicts."""
+    n_basis, procs, miters = _fig3_params(quick)
+    return [{"n_io": n_io, "p": p, "n_basis": n_basis,
+             "measured_read_iters": miters}
+            for n_io in (12, 16, 64) for p in procs]
+
+
+def fig3_run_point(point: dict) -> dict:
+    """Simulate one Figure-3 configuration; returns a JSON-able payload."""
+    config = SCF11Config(n_basis=point["n_basis"], version="original",
+                         measured_read_iters=point["measured_read_iters"])
+    res = run_scf11(paragon_large(n_compute=max(point["p"], 4),
+                                  n_io=point["n_io"]),
+                    config, point["p"])
+    return {**point, "io_time": res.io_time}
+
+
+def fig3_assemble(point_results: Sequence[dict],
+                  quick: bool = False) -> ExperimentResult:
+    """Fold the sweep-point payloads into the Figure-3 result."""
+    _, procs, _ = _fig3_params(quick)
+    by_point: Dict[Tuple[int, int], dict] = {
+        (r["n_io"], r["p"]): r for r in point_results}
     exp = ExperimentResult(
         exp_id="fig3",
         title="SCF 1.1: effect of increasing I/O nodes",
@@ -254,11 +352,7 @@ def fig3(quick: bool = False) -> ExperimentResult:
     for n_io in (12, 16, 64):
         s = Series(f"{n_io} io nodes")
         for p in procs:
-            config = SCF11Config(n_basis=n_basis, version="original",
-                                 measured_read_iters=miters)
-            res = run_scf11(paragon_large(n_compute=max(p, 4), n_io=n_io),
-                            config, p)
-            s.add(p, res.io_time)
+            s.add(p, by_point[(n_io, p)]["io_time"])
         exp.series.append(s)
     big_p = procs[-1]
     small_p = procs[0]
@@ -273,3 +367,9 @@ def fig3(quick: bool = False) -> ExperimentResult:
     exp.notes.append(f"12->64 I/O-node speedup: {gain_small:.2f}x at "
                      f"P={small_p}, {gain_big:.2f}x at P={big_p}")
     return exp
+
+
+def fig3(quick: bool = False) -> ExperimentResult:
+    """Figure 3: effect of the I/O-node count on SCF 1.1."""
+    return fig3_assemble([fig3_run_point(pt) for pt in fig3_points(quick)],
+                         quick=quick)

@@ -1,45 +1,65 @@
-"""SCF 3.0 experiment: Figure 4 (balanced I/O)."""
+"""SCF 3.0 experiment: Figure 4 (balanced I/O).
+
+Figure 4 follows the runner's sweep-point protocol (``fig4_points`` /
+``fig4_run_point`` / ``fig4_assemble``); ``fig4`` itself is the serial
+composition of the three and stays the registry entry point.
+"""
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Sequence, Tuple
 
 from repro.apps.scf30 import SCF30Config, run_scf30
 from repro.experiments.results import ExperimentResult, Series
 from repro.machine.presets import paragon_large
 
-__all__ = ["fig4"]
+__all__ = ["fig4", "fig4_points", "fig4_run_point", "fig4_assemble"]
 
 
-def fig4(quick: bool = False) -> ExperimentResult:
-    """Figure 4: exec time vs %-cached-integrals, per P, for 16/64 I/O nodes.
-
-    Paper claims: (a) at 0% cached, adding processors is very effective;
-    (b) at 100% cached it barely matters; (c) the I/O-node count is not
-    very effective for this application; (d) caching more integrals is the
-    better lever at small/moderate processor counts.
-    """
+def _params(quick: bool) -> Tuple[List[float], List[int], List[int], int]:
     fractions = [0.0, 0.5, 1.0] if quick else [0.0, 0.25, 0.5, 0.75, 0.9, 1.0]
     procs = [16, 64] if quick else [16, 32, 64, 128, 256]
     io_nodes = [16] if quick else [16, 64]
     miters = 1 if quick else 2
+    return fractions, procs, io_nodes, miters
+
+
+def fig4_points(quick: bool = False) -> List[dict]:
+    """Figure 4's sweep points as declared config dicts."""
+    fractions, procs, io_nodes, miters = _params(quick)
+    return [{"n_io": n_io, "p": p, "cached_fraction": f,
+             "measured_read_iters": miters}
+            for n_io in io_nodes for p in procs for f in fractions]
+
+
+def fig4_run_point(point: dict) -> dict:
+    """Simulate one Figure-4 configuration; returns a JSON-able payload."""
+    config = SCF30Config(cached_fraction=point["cached_fraction"],
+                         measured_read_iters=point["measured_read_iters"])
+    res = run_scf30(paragon_large(n_compute=max(point["p"], 4),
+                                  n_io=point["n_io"]),
+                    config, point["p"])
+    return {**point, "exec_time": res.exec_time}
+
+
+def fig4_assemble(point_results: Sequence[dict],
+                  quick: bool = False) -> ExperimentResult:
+    """Fold the sweep-point payloads into the Figure-4 result."""
+    fractions, procs, io_nodes, _ = _params(quick)
     exp = ExperimentResult(
         exp_id="fig4",
         title="SCF 3.0: balanced I/O (percentage of cached integrals)",
         paper_reference="Figure 4 [0% cached: procs very effective; 100% "
                         "cached: procs ineffective; I/O-node count minor]",
     )
-    values = {}
+    values: Dict[Tuple[int, int, float], float] = {
+        (r["n_io"], r["p"], r["cached_fraction"]): r["exec_time"]
+        for r in point_results}
     for n_io in io_nodes:
         for p in procs:
             s = Series(f"P={p}, {n_io}io")
             for f in fractions:
-                config = SCF30Config(cached_fraction=f,
-                                     measured_read_iters=miters)
-                res = run_scf30(paragon_large(n_compute=max(p, 4),
-                                              n_io=n_io), config, p)
-                s.add(f * 100, res.exec_time)
-                values[(n_io, p, f)] = res.exec_time
+                s.add(f * 100, values[(n_io, p, f)])
             exp.series.append(s)
 
     nio0 = io_nodes[0]
@@ -73,3 +93,15 @@ def fig4(quick: bool = False) -> ExperimentResult:
     exp.notes.append(f"P={p_small}->{p_big} speedup: {speedup_recompute:.1f}x "
                      f"at 0% cached vs {speedup_cached:.2f}x at 100% cached")
     return exp
+
+
+def fig4(quick: bool = False) -> ExperimentResult:
+    """Figure 4: exec time vs %-cached-integrals, per P, for 16/64 I/O nodes.
+
+    Paper claims: (a) at 0% cached, adding processors is very effective;
+    (b) at 100% cached it barely matters; (c) the I/O-node count is not
+    very effective for this application; (d) caching more integrals is the
+    better lever at small/moderate processor counts.
+    """
+    return fig4_assemble([fig4_run_point(pt) for pt in fig4_points(quick)],
+                         quick=quick)

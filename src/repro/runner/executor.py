@@ -1,0 +1,289 @@
+"""Crash-isolated process-pool executor with a shared work queue.
+
+Workers pull ``(job_id, exp_id, kind, config)`` tuples off a queue,
+announce the job they picked up, run :func:`repro.runner.jobs.execute_job`
+and report the payload (or a formatted traceback) back.  The parent
+supervises: a worker that dies mid-job marks *that job* crashed — not
+the run — and is replaced; a job that exceeds the per-job timeout gets
+its worker killed the same way.  Respawns are budgeted so a job that
+crashes every worker cannot loop forever.
+
+The pool uses the ``fork`` start method where available (Linux), which
+keeps in-process registry modifications — e.g. experiments registered by
+tests — visible to workers.  ``jobs <= 1`` executes inline in the parent
+(no isolation, no timeout) for debugging and determinism checks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.runner.jobs import JobSpec, execute_job
+
+__all__ = ["JobOutcome", "PoolExecutor"]
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job."""
+
+    job: JobSpec
+    status: str                    # ok | failed | crashed | timeout | lost
+    payload: Optional[dict] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _worker_main(worker_id: int, task_q, result_q) -> None:
+    while True:
+        item = task_q.get()
+        if item is None:
+            break
+        job_id, exp_id, kind, config = item
+        result_q.put(("started", worker_id, job_id))
+        t0 = time.perf_counter()
+        try:
+            payload = execute_job(exp_id, kind, config)
+        except BaseException:
+            result_q.put(("failed", worker_id, job_id,
+                          traceback.format_exc(),
+                          time.perf_counter() - t0))
+        else:
+            result_q.put(("done", worker_id, job_id, payload,
+                          time.perf_counter() - t0))
+
+
+@dataclass
+class _PoolState:
+    """Book-keeping for one `_run_pool` invocation."""
+
+    by_id: Dict[str, JobSpec]
+    outcomes: Dict[str, JobOutcome] = field(default_factory=dict)
+    #: worker id -> (job id, started-at monotonic time)
+    in_flight: Dict[int, Tuple[str, float]] = field(default_factory=dict)
+    workers: Dict[int, mp.process.BaseProcess] = field(default_factory=dict)
+    started_ids: Set[str] = field(default_factory=set)
+    stall_polls: int = 0
+
+
+class PoolExecutor:
+    """Run jobs on N worker processes with crash and timeout isolation."""
+
+    #: Parent poll interval for results / liveness / timeouts.
+    _POLL_S = 0.1
+    #: Consecutive idle polls with nothing in flight before the parent
+    #: declares unresolved jobs lost (covers the tiny window where a
+    #: worker dies between claiming a task and announcing it).
+    _STALL_POLLS = 20
+
+    def __init__(self, jobs: int = 1, timeout_s: Optional[float] = None,
+                 context: Optional[mp.context.BaseContext] = None):
+        self.n_workers = max(1, int(jobs))
+        self.timeout_s = timeout_s
+        if context is None:
+            try:
+                context = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                context = mp.get_context()
+        self._ctx = context
+
+    def run(self, jobs: Sequence[JobSpec],
+            on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+            ) -> List[JobOutcome]:
+        """Execute every job; returns outcomes in input order.
+
+        ``on_outcome`` is called in the parent as each job finishes.
+        """
+        if not jobs:
+            return []
+        if self.n_workers <= 1:
+            return [self._run_inline(job, on_outcome) for job in jobs]
+        by_id = self._run_pool(jobs, on_outcome)
+        return [by_id[job.job_id] for job in jobs]
+
+    @staticmethod
+    def _run_inline(job: JobSpec,
+                    on_outcome: Optional[Callable[[JobOutcome], None]],
+                    ) -> JobOutcome:
+        t0 = time.perf_counter()
+        try:
+            payload = execute_job(job.exp_id, job.kind, job.config)
+        except Exception:
+            out = JobOutcome(job, "failed", error=traceback.format_exc(),
+                             elapsed_s=time.perf_counter() - t0)
+        else:
+            out = JobOutcome(job, "ok", payload=payload,
+                             elapsed_s=time.perf_counter() - t0)
+        if on_outcome is not None:
+            on_outcome(out)
+        return out
+
+    def _run_pool(self, jobs: Sequence[JobSpec],
+                  on_outcome: Optional[Callable[[JobOutcome], None]],
+                  ) -> Dict[str, JobOutcome]:
+        state = _PoolState(by_id={job.job_id: job for job in jobs})
+        task_q = self._ctx.Queue()
+        result_q = self._ctx.Queue()
+        for job in jobs:
+            task_q.put((job.job_id, job.exp_id, job.kind, dict(job.config)))
+
+        next_worker_id = 0
+        # A worker may be respawned after every crash/timeout, but never
+        # more than once per job: a pathological job cannot spin the pool.
+        spawn_budget = self.n_workers + len(jobs)
+
+        def finish(out: JobOutcome) -> None:
+            state.outcomes[out.job.job_id] = out
+            if on_outcome is not None:
+                on_outcome(out)
+
+        def spawn() -> None:
+            nonlocal next_worker_id, spawn_budget
+            if spawn_budget <= 0:
+                return
+            spawn_budget -= 1
+            wid = next_worker_id
+            next_worker_id += 1
+            proc = self._ctx.Process(target=_worker_main,
+                                     args=(wid, task_q, result_q),
+                                     daemon=True)
+            proc.start()
+            state.workers[wid] = proc
+
+        for _ in range(min(self.n_workers, len(jobs))):
+            spawn()
+
+        try:
+            while len(state.outcomes) < len(jobs):
+                if self._drain_results(result_q, state, finish):
+                    state.stall_polls = 0
+                    continue
+                now = time.monotonic()
+                self._reap_timeouts(now, state, finish)
+                self._reap_crashes(now, state, finish)
+                # Keep enough workers alive for the work that is left.
+                unclaimed = len(jobs) - len(state.started_ids)
+                want = min(self.n_workers,
+                           unclaimed + len(state.in_flight))
+                while len(state.workers) < want and spawn_budget > 0:
+                    spawn()
+                if not state.workers and len(state.outcomes) < len(jobs):
+                    self._mark_lost(state, finish,
+                                    "worker pool exhausted its respawn "
+                                    "budget before this job completed")
+                    break
+                if state.in_flight or not task_q.empty():
+                    state.stall_polls = 0
+                else:
+                    state.stall_polls += 1
+                    if state.stall_polls >= self._STALL_POLLS:
+                        self._mark_lost(state, finish,
+                                        "job was claimed but its worker "
+                                        "vanished before reporting")
+                        break
+        finally:
+            self._shutdown(task_q, result_q, state.workers)
+        return state.outcomes
+
+    @staticmethod
+    def _mark_lost(state: _PoolState, finish, reason: str) -> None:
+        for job_id, job in state.by_id.items():
+            if job_id not in state.outcomes:
+                finish(JobOutcome(job, "lost", error=reason))
+
+    @staticmethod
+    def _drain_results(result_q, state: _PoolState, finish) -> int:
+        """Process every queued worker message; returns #messages."""
+        drained = 0
+        while True:
+            try:
+                # Block briefly for the first message, then drain dry.
+                msg = result_q.get(timeout=PoolExecutor._POLL_S
+                                   if drained == 0 else 0)
+            except queue_mod.Empty:
+                return drained
+            drained += 1
+            tag = msg[0]
+            if tag == "started":
+                _, wid, job_id = msg
+                state.in_flight[wid] = (job_id, time.monotonic())
+                state.started_ids.add(job_id)
+            else:
+                _, wid, job_id, data, elapsed = msg
+                state.in_flight.pop(wid, None)
+                if job_id in state.outcomes:
+                    continue  # e.g. already marked timeout
+                job = state.by_id[job_id]
+                if tag == "done":
+                    finish(JobOutcome(job, "ok", payload=data,
+                                      elapsed_s=elapsed))
+                else:
+                    finish(JobOutcome(job, "failed", error=data,
+                                      elapsed_s=elapsed))
+
+    def _reap_timeouts(self, now: float, state: _PoolState, finish) -> None:
+        if not self.timeout_s:
+            return
+        for wid, (job_id, t0) in list(state.in_flight.items()):
+            if now - t0 <= self.timeout_s:
+                continue
+            proc = state.workers.pop(wid, None)
+            if proc is not None:
+                proc.terminate()
+                proc.join(1.0)
+            state.in_flight.pop(wid, None)
+            if job_id not in state.outcomes:
+                finish(JobOutcome(
+                    state.by_id[job_id], "timeout",
+                    error=f"job exceeded --timeout {self.timeout_s:g}s",
+                    elapsed_s=now - t0))
+
+    @staticmethod
+    def _reap_crashes(now: float, state: _PoolState, finish) -> None:
+        for wid, proc in list(state.workers.items()):
+            if proc.is_alive() or proc.exitcode in (0, None):
+                continue
+            state.workers.pop(wid)
+            held = state.in_flight.pop(wid, None)
+            if held is None:
+                continue
+            job_id, t0 = held
+            if job_id not in state.outcomes:
+                finish(JobOutcome(
+                    state.by_id[job_id], "crashed",
+                    error=f"worker process died with exit code "
+                          f"{proc.exitcode} while running this job",
+                    elapsed_s=now - t0))
+
+    @staticmethod
+    def _shutdown(task_q, result_q, workers) -> None:
+        # Drain undistributed tasks, then wave the workers home.
+        try:
+            while True:
+                task_q.get_nowait()
+        except (queue_mod.Empty, OSError):
+            pass
+        for _ in workers:
+            try:
+                task_q.put(None)
+            except (ValueError, OSError):  # pragma: no cover
+                break
+        deadline = time.monotonic() + 5.0
+        for proc in workers.values():
+            proc.join(max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        for q in (task_q, result_q):
+            q.cancel_join_thread()
+            q.close()

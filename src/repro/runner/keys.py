@@ -1,0 +1,43 @@
+"""Content-addressed cache keys for runner jobs.
+
+A job's key is the SHA-256 of the canonicalized JSON of its identity:
+the experiment id, the job kind, the declared config dict, and a code
+fingerprint derived from :data:`repro.__version__`.  Bumping the package
+version therefore invalidates every cached result; ``REPRO_CACHE_SALT``
+gives the same lever to local experiments that change simulation
+behavior without a version bump.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Mapping
+
+from repro._version import __version__
+
+__all__ = ["canonical_json", "code_fingerprint", "job_key"]
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, ASCII only."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def code_fingerprint() -> str:
+    """Identity of the code that produced a result."""
+    salt = os.environ.get("REPRO_CACHE_SALT", "")
+    return f"repro-{__version__}" + (f"+{salt}" if salt else "")
+
+
+def job_key(exp_id: str, kind: str, config: Mapping[str, object]) -> str:
+    """SHA-256 key of one job's (experiment id, kind, config, code)."""
+    blob = canonical_json({
+        "exp_id": exp_id,
+        "kind": kind,
+        "config": dict(config),
+        "code": code_fingerprint(),
+    })
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()

@@ -1,0 +1,99 @@
+"""Progress and observability for runner executions.
+
+A :class:`ProgressTracker` prints one line per finished job — status,
+wall time, queue depth and an ETA extrapolated from the mean computed-job
+time and the worker count — and accumulates the per-experiment numbers
+the final summary table reports.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, TextIO
+
+from repro.runner.executor import JobOutcome
+
+__all__ = ["ProgressTracker", "render_summary_table"]
+
+
+class ProgressTracker:
+    """Live per-job progress lines plus run-wide accounting."""
+
+    def __init__(self, stream: Optional[TextIO] = None, enabled: bool = True):
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self.total = 0
+        self.workers = 1
+        self.completed = 0
+        self.computed = 0
+        self.cached = 0
+        self.failed = 0
+        self.compute_s = 0.0
+        self._t0 = time.perf_counter()
+
+    def begin(self, total_jobs: int, workers: int) -> None:
+        self.total = total_jobs
+        self.workers = max(1, workers)
+        self._t0 = time.perf_counter()
+        if self.enabled and total_jobs:
+            self._emit(f"runner: {total_jobs} job(s) on "
+                       f"{self.workers} worker(s)")
+
+    @property
+    def queue_depth(self) -> int:
+        return max(0, self.total - self.completed)
+
+    def eta_s(self) -> Optional[float]:
+        """Remaining-work estimate from the mean computed-job time."""
+        if not self.computed or not self.queue_depth:
+            return None
+        mean = self.compute_s / self.computed
+        return mean * self.queue_depth / self.workers
+
+    def job_done(self, outcome: JobOutcome) -> None:
+        self.completed += 1
+        if outcome.cached:
+            self.cached += 1
+        elif outcome.ok:
+            self.computed += 1
+            self.compute_s += outcome.elapsed_s
+        else:
+            self.failed += 1
+        if not self.enabled:
+            return
+        status = "hit" if outcome.cached else outcome.status
+        eta = self.eta_s()
+        eta_txt = f" eta={eta:.0f}s" if eta is not None else ""
+        self._emit(f"[{self.completed:3d}/{self.total}] "
+                   f"{outcome.job.job_id:<12s} {status:<7s} "
+                   f"{outcome.elapsed_s:6.1f}s  "
+                   f"queue={self.queue_depth}{eta_txt}")
+
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream)
+        try:
+            self.stream.flush()
+        except (AttributeError, OSError):
+            pass
+
+
+def render_summary_table(per_exp: "OrderedDict[str, Dict[str, float]]",
+                         ) -> str:
+    """Fixed-width per-experiment summary (jobs/cached/computed/failed)."""
+    header = (f"{'experiment':<12s} {'jobs':>5s} {'cached':>7s} "
+              f"{'computed':>9s} {'failed':>7s} {'job_s':>8s}")
+    lines = [header, "-" * len(header)]
+    totals = {"jobs": 0, "cached": 0, "computed": 0, "failed": 0,
+              "job_s": 0.0}
+    for exp_id, row in per_exp.items():
+        lines.append(f"{exp_id:<12s} {row['jobs']:>5d} {row['cached']:>7d} "
+                     f"{row['computed']:>9d} {row['failed']:>7d} "
+                     f"{row['job_s']:>8.1f}")
+        for k in totals:
+            totals[k] += row[k]
+    lines.append(f"{'total':<12s} {totals['jobs']:>5d} {totals['cached']:>7d} "
+                 f"{totals['computed']:>9d} {totals['failed']:>7d} "
+                 f"{totals['job_s']:>8.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Persistent, content-addressed result store under ``.repro-cache/``.
+
+Entries live at ``objects/<key[:2]>/<key>.json`` where ``key`` is the
+job's SHA-256 (:mod:`repro.runner.keys`).  Writes are atomic (temp file
++ ``os.replace``) so a crashed or concurrent run can never leave a
+half-written entry; readers treat any unreadable entry as a miss.  The
+store keeps per-instance hit/miss/store/eviction counters and supports
+LRU eviction by entry mtime (``get`` touches entries).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["DEFAULT_ROOT", "CacheStats", "ResultStore"]
+
+#: Default cache root, relative to the working directory; override with
+#: the ``REPRO_CACHE_DIR`` environment variable or an explicit root.
+DEFAULT_ROOT = ".repro-cache"
+
+_LAST_RUN = "last_run.json"
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/store/eviction counters for one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ResultStore:
+    """Content-addressed JSON store for job payloads."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root if root is not None
+                         else os.environ.get("REPRO_CACHE_DIR", DEFAULT_ROOT))
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Full cache entry for ``key``, or None (counted as hit/miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="ascii") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU recency for evict()
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: str, payload: dict, **meta: object) -> Path:
+        """Atomically store ``payload`` (plus metadata) under ``key``."""
+        entry = {"key": key, "created": time.time(), **meta,
+                 "payload": payload}
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(path, entry)
+        self.stats.stores += 1
+        return path
+
+    @staticmethod
+    def _write_atomic(path: Path, obj: dict) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-",
+                                   suffix=".json")
+        try:
+            with os.fdopen(fd, "w", encoding="ascii") as fh:
+                json.dump(obj, fh, ensure_ascii=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def entries(self) -> Iterator[Tuple[Path, str, float, int]]:
+        """Yield (path, key, mtime, size_bytes) for every stored entry."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            yield path, path.stem, stat.st_mtime, stat.st_size
+
+    def count(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def size_bytes(self) -> int:
+        return sum(size for _, _, _, size in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path, _, _, _ in list(self.entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.stats.evictions += removed
+        return removed
+
+    def evict(self, max_bytes: int) -> int:
+        """LRU-evict (oldest mtime first) until at most ``max_bytes``."""
+        listing: List[Tuple[Path, str, float, int]] = list(self.entries())
+        total = sum(size for _, _, _, size in listing)
+        removed = 0
+        for path, _, _, size in sorted(listing, key=lambda e: e[2]):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self.stats.evictions += removed
+        return removed
+
+    def write_last_run(self, summary: dict) -> None:
+        """Persist the most recent run's summary for ``repro cache stats``."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(self.root / _LAST_RUN, summary)
+
+    def read_last_run(self) -> Optional[dict]:
+        try:
+            with open(self.root / _LAST_RUN, encoding="ascii") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None

@@ -8,6 +8,16 @@ from repro.machine import Machine, MachineConfig, paragon_small
 from repro.pfs import PFS
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the runner's result cache at a per-test directory.
+
+    Keeps tests from reading or writing the developer's ``.repro-cache/``
+    in the repository root.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def env():
     from repro.sim import Environment

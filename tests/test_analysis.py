@@ -213,18 +213,22 @@ class TestCLIRunFailures:
     def test_run_all_iterates_registry(self, monkeypatch, capsys):
         from repro import cli
         import repro.experiments as exps
+        import repro.experiments.registry as registry
         from repro.experiments import ExperimentResult
         calls = []
 
-        def fake_run(exp_id, quick=False):
-            calls.append(exp_id)
-            res = ExperimentResult(exp_id, "t", "ref")
-            res.add_check("ok", True)
-            return res
+        def make(exp_id):
+            def fake(quick=False):
+                calls.append(exp_id)
+                res = ExperimentResult(exp_id, "t", "ref")
+                res.add_check("ok", True)
+                return res
+            return fake
 
-        # _cmd_run re-imports from the package each call, so patching the
-        # package attributes is sufficient.
-        monkeypatch.setattr(exps, "EXPERIMENTS", {"a": None, "b": None})
-        monkeypatch.setattr(exps, "run_experiment", fake_run)
-        assert cli.main(["run", "all", "--quick"]) == 0
+        # The runner resolves experiments through the registry module, and
+        # the CLI lists targets via the package re-export; patch both.
+        fakes = {"a": make("a"), "b": make("b")}
+        monkeypatch.setattr(registry, "EXPERIMENTS", fakes)
+        monkeypatch.setattr(exps, "EXPERIMENTS", fakes)
+        assert cli.main(["run", "all", "--quick", "--no-cache"]) == 0
         assert calls == ["a", "b"]

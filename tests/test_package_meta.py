@@ -23,6 +23,7 @@ class TestPublicAPI:
         "repro.sim", "repro.machine", "repro.pfs", "repro.iolib",
         "repro.mp", "repro.trace", "repro.apps", "repro.experiments",
         "repro.analysis", "repro.advisor", "repro.workloads",
+        "repro.runner",
     ])
     def test_all_exports_resolve(self, module):
         mod = importlib.import_module(module)
@@ -39,7 +40,9 @@ class TestPublicAPI:
         "repro.sim", "repro.machine", "repro.pfs", "repro.iolib",
         "repro.mp", "repro.trace", "repro.apps", "repro.experiments",
         "repro.analysis", "repro.advisor", "repro.workloads",
-        "repro.cli",
+        "repro.cli", "repro.runner", "repro.runner.jobs",
+        "repro.runner.keys", "repro.runner.store", "repro.runner.executor",
+        "repro.runner.progress", "repro.runner.service",
     ])
     def test_every_module_documented(self, module):
         mod = importlib.import_module(module)

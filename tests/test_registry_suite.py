@@ -1,0 +1,60 @@
+"""Tests for registry.run_all error collection and timing hooks."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, ExperimentSuiteError, registry
+
+
+def _fake(exp_id, exc=None):
+    def fn(quick=False):
+        if exc is not None:
+            raise exc
+        res = ExperimentResult(exp_id, "t", "ref")
+        res.add_check("ok", True)
+        return res
+    return fn
+
+
+class TestRunAll:
+    def test_all_pass_returns_results(self, monkeypatch):
+        monkeypatch.setattr(registry, "EXPERIMENTS",
+                            {"a": _fake("a"), "b": _fake("b")})
+        results = registry.run_all(quick=True)
+        assert list(results) == ["a", "b"]
+
+    def test_failure_does_not_abort_sweep(self, monkeypatch):
+        monkeypatch.setattr(registry, "EXPERIMENTS", {
+            "a": _fake("a"),
+            "bad": _fake("bad", exc=RuntimeError("disk model exploded")),
+            "c": _fake("c"),
+        })
+        with pytest.raises(ExperimentSuiteError) as excinfo:
+            registry.run_all(quick=True)
+        err = excinfo.value
+        # Everything after the failure still ran...
+        assert list(err.results) == ["a", "c"]
+        # ...and the failure is fully described.
+        assert set(err.errors) == {"bad"}
+        assert "disk model exploded" in str(err.errors["bad"])
+        assert "disk model exploded" in err.tracebacks()["bad"]
+        assert "1 experiment(s) failed: bad" in str(err)
+
+    def test_timings_cover_every_experiment(self, monkeypatch):
+        monkeypatch.setattr(registry, "EXPERIMENTS", {
+            "a": _fake("a"),
+            "bad": _fake("bad", exc=ValueError("boom")),
+        })
+        with pytest.raises(ExperimentSuiteError) as excinfo:
+            registry.run_all(quick=True)
+        timings = excinfo.value.timings
+        assert set(timings) == {"a", "bad"}
+        assert all(t >= 0.0 for t in timings.values())
+
+    def test_on_result_called_per_success(self, monkeypatch):
+        monkeypatch.setattr(registry, "EXPERIMENTS",
+                            {"a": _fake("a"), "b": _fake("b")})
+        seen = []
+        registry.run_all(quick=True,
+                         on_result=lambda eid, res, s: seen.append(
+                             (eid, res.exp_id, s >= 0.0)))
+        assert seen == [("a", "a", True), ("b", "b", True)]

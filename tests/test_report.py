@@ -53,27 +53,32 @@ class TestRenderMarkdown:
         assert "- [ ] second claim" in text
 
 
+def _patch_registry(monkeypatch, fakes):
+    """Swap the experiment registry for ``fakes`` (runner + CLI views)."""
+    import repro.experiments as exps
+    import repro.experiments.registry as registry
+
+    monkeypatch.setattr(registry, "EXPERIMENTS", fakes)
+    monkeypatch.setattr(exps, "EXPERIMENTS", fakes)
+
+
 class TestCLIReport:
     def test_report_command_writes_file(self, tmp_path, capsys, monkeypatch):
         from repro import cli
-        from repro.experiments import ExperimentResult
 
-        def fake_run_all(quick=True):
-            return {"table1": _result("table1")}
-
-        import repro.experiments as exps
-        monkeypatch.setattr(exps, "run_all", fake_run_all)
+        _patch_registry(monkeypatch,
+                        {"table1": lambda quick=False: _result("table1")})
         out = tmp_path / "r.md"
-        assert cli.main(["report", "-o", str(out), "--quick"]) == 0
+        assert cli.main(["report", "-o", str(out), "--quick",
+                         "--no-cache"]) == 0
         assert out.exists()
         assert "# Reproduction report" in out.read_text()
 
     def test_report_command_signals_failures(self, tmp_path, monkeypatch):
         from repro import cli
-        import repro.experiments as exps
 
-        monkeypatch.setattr(
-            exps, "run_all",
-            lambda quick=True: {"x": _result("x", all_pass=False)})
+        _patch_registry(monkeypatch,
+                        {"x": lambda quick=False: _result(
+                            "x", all_pass=False)})
         out = tmp_path / "r.md"
-        assert cli.main(["report", "-o", str(out)]) == 1
+        assert cli.main(["report", "-o", str(out), "--no-cache"]) == 1

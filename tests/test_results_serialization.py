@@ -1,0 +1,81 @@
+"""Round-trip tests for Series / ExperimentResult serialization."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentResult, Series
+
+
+def _rich_result():
+    res = ExperimentResult(exp_id="figX", title="Serialization demo",
+                           paper_reference="Figure X")
+    a = Series("unopt 2io")
+    a.add(4, 120.5)
+    a.add(16, 60.25)
+    b = Series("layout 2io")
+    b.add(4, 80.0)
+    res.series.extend([a, b])
+    res.rows.append({"P": 4, "time": 12.5, "version": "base"})
+    res.rows.append({"P": 16, "time": 3.0, "version": "opt"})
+    res.notes.append("quick-scale caveat")
+    res.add_check("claim holds", True)
+    res.add_check("claim fails", False)
+    res.text = "free-form header"
+    return res
+
+
+class TestSeriesRoundTrip:
+    def test_to_dict_shape(self):
+        s = Series("bw")
+        s.add(1, 2.5)
+        assert s.to_dict() == {"label": "bw", "points": [[1.0, 2.5]]}
+
+    def test_round_trip_restores_tuples(self):
+        s = Series("bw")
+        s.add(2, 3.5)
+        s.add(4, 7)
+        back = Series.from_dict(s.to_dict())
+        assert back == s
+        assert all(isinstance(p, tuple) for p in back.points)
+        assert back.y_at(4) == 7.0
+
+    def test_round_trip_through_json(self):
+        s = Series("x")
+        s.add(1, 1e-9)
+        back = Series.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert back == s
+
+
+class TestExperimentResultRoundTrip:
+    def test_round_trip_is_identity(self):
+        res = _rich_result()
+        back = ExperimentResult.from_dict(res.to_dict())
+        assert back == res
+        assert back.to_dict() == res.to_dict()
+
+    def test_round_trip_through_json(self):
+        res = _rich_result()
+        wire = json.dumps(res.to_dict(), sort_keys=True)
+        back = ExperimentResult.from_dict(json.loads(wire))
+        assert json.dumps(back.to_dict(), sort_keys=True) == wire
+
+    def test_round_trip_preserves_behaviour(self):
+        back = ExperimentResult.from_dict(_rich_result().to_dict())
+        assert back.series_by_label("layout 2io").y_at(4) == 80.0
+        assert not back.all_checks_pass
+        assert "FAIL" in back.to_text()
+
+    def test_minimal_dict_defaults(self):
+        back = ExperimentResult.from_dict(
+            {"exp_id": "a", "title": "t", "paper_reference": "r"})
+        assert back.series == [] and back.rows == []
+        assert back.checks == {} and back.text is None
+
+    def test_dict_is_a_copy(self):
+        res = _rich_result()
+        data = res.to_dict()
+        data["rows"][0]["P"] = 999
+        data["checks"]["claim holds"] = False
+        assert res.rows[0]["P"] == 4
+        assert res.checks["claim holds"] is True

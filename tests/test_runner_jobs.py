@@ -1,0 +1,110 @@
+"""Tests for the runner's job model and content-addressed keys."""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentResult, registry
+from repro.runner import (
+    KIND_EXPERIMENT,
+    KIND_POINT,
+    SWEEPS,
+    JobSpec,
+    assemble,
+    decompose,
+    decompose_many,
+    execute_job,
+)
+from repro.runner.keys import canonical_json, code_fingerprint, job_key
+
+
+class TestKeys:
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == \
+            canonical_json({"a": [2, 3], "b": 1})
+
+    def test_canonical_json_is_compact_ascii(self):
+        text = canonical_json({"a": 1, "b": "x"})
+        assert text == '{"a":1,"b":"x"}'
+
+    def test_key_is_stable(self):
+        cfg = {"p": 4, "n_io": 2, "label": "unopt 2io"}
+        assert job_key("fig5", KIND_POINT, cfg) == \
+            job_key("fig5", KIND_POINT, dict(reversed(list(cfg.items()))))
+
+    def test_key_varies_with_every_component(self):
+        base = job_key("fig5", KIND_POINT, {"p": 4})
+        assert job_key("fig6", KIND_POINT, {"p": 4}) != base
+        assert job_key("fig5", KIND_EXPERIMENT, {"p": 4}) != base
+        assert job_key("fig5", KIND_POINT, {"p": 8}) != base
+
+    def test_key_varies_with_code_fingerprint(self, monkeypatch):
+        base = job_key("fig5", KIND_POINT, {"p": 4})
+        monkeypatch.setenv("REPRO_CACHE_SALT", "refactor-2")
+        assert job_key("fig5", KIND_POINT, {"p": 4}) != base
+
+    def test_fingerprint_tracks_version(self):
+        import repro
+        assert repro.__version__ in code_fingerprint()
+
+
+class TestDecompose:
+    def test_swept_experiment_one_job_per_point(self):
+        for exp_id, spec in SWEEPS.items():
+            jobs = decompose(exp_id, quick=True)
+            assert len(jobs) == len(spec.points(True))
+            assert all(j.kind == KIND_POINT for j in jobs)
+
+    def test_table_experiment_is_single_job(self):
+        (job,) = decompose("table1", quick=True)
+        assert job.kind == KIND_EXPERIMENT
+        assert job.config == {"quick": True}
+
+    def test_job_ids_are_stable_and_ordered(self):
+        jobs = decompose("fig5", quick=True)
+        assert [j.job_id for j in jobs] == \
+            [f"fig5#{i:03d}" for i in range(len(jobs))]
+        again = decompose("fig5", quick=True)
+        assert [(j.job_id, j.key) for j in jobs] == \
+            [(j.job_id, j.key) for j in again]
+
+    def test_keys_unique_across_full_quick_sweep(self):
+        jobs = decompose_many(registry.experiment_ids(), quick=True)
+        keys = [j.key for j in jobs]
+        assert len(set(keys)) == len(keys)
+        assert len(jobs) > len(registry.experiment_ids())  # swept figs
+
+    def test_quick_and_full_points_key_differently(self):
+        quick = {j.key for j in decompose("fig5", quick=True)}
+        full = {j.key for j in decompose("fig5", quick=False)}
+        assert quick.isdisjoint(full)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError, match="fig99"):
+            decompose("fig99")
+
+    def test_configs_are_json_able(self):
+        for job in decompose_many(registry.experiment_ids(), quick=True):
+            json.dumps(dict(job.config))
+
+
+class TestExecuteAssemble:
+    def test_whole_experiment_round_trip(self, monkeypatch):
+        def fake(quick=False):
+            res = ExperimentResult("zz", "t", "ref")
+            res.add_check("ok", True)
+            return res
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "zz", fake)
+        payload = execute_job("zz", KIND_EXPERIMENT, {"quick": True})
+        json.dumps(payload)  # must be wire-safe
+        result = assemble("zz", [payload], quick=True)
+        assert result == fake()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            execute_job("fig5", "bogus", {})
+
+    def test_assemble_rejects_wrong_payload_count(self):
+        with pytest.raises(ValueError, match="table1"):
+            assemble("table1", [{}, {}], quick=True)

@@ -1,0 +1,113 @@
+"""Tests for the persistent content-addressed result store."""
+
+import json
+import os
+
+import pytest
+
+from repro.runner.store import DEFAULT_ROOT, CacheStats, ResultStore
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+KEY_C = "cc" + "2" * 62
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "cache")
+
+
+class TestBasicPutGet:
+    def test_miss_then_hit(self, store):
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, {"io_time": 1.5}, exp_id="fig5")
+        entry = store.get(KEY_A)
+        assert entry["payload"] == {"io_time": 1.5}
+        assert entry["exp_id"] == "fig5"
+        assert entry["key"] == KEY_A
+        assert store.stats.misses == 1 and store.stats.hits == 1
+        assert store.stats.stores == 1
+
+    def test_layout_is_sharded_by_key_prefix(self, store):
+        path = store.put(KEY_A, {})
+        assert path == store.root / "objects" / "aa" / f"{KEY_A}.json"
+        assert path.is_file()
+
+    def test_put_overwrites(self, store):
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_A, {"v": 2})
+        assert store.get(KEY_A)["payload"] == {"v": 2}
+        assert store.count() == 1
+
+    def test_corrupt_entry_is_a_miss(self, store):
+        path = store.put(KEY_A, {"v": 1})
+        path.write_text("{truncated", encoding="ascii")
+        assert store.get(KEY_A) is None
+        assert store.stats.misses == 1
+
+    def test_env_var_selects_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ResultStore().root == tmp_path / "elsewhere"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert str(ResultStore().root) == DEFAULT_ROOT
+
+    def test_atomic_write_leaves_no_temp_files(self, store):
+        store.put(KEY_A, {"v": 1})
+        leftovers = [p for p in store.root.rglob(".tmp-*")]
+        assert leftovers == []
+
+
+class TestMaintenance:
+    def test_count_and_size(self, store):
+        assert store.count() == 0 and store.size_bytes() == 0
+        store.put(KEY_A, {"v": 1})
+        store.put(KEY_B, {"v": 2})
+        assert store.count() == 2
+        assert store.size_bytes() > 0
+
+    def test_clear_removes_everything(self, store):
+        store.put(KEY_A, {})
+        store.put(KEY_B, {})
+        assert store.clear() == 2
+        assert store.count() == 0
+        assert store.stats.evictions == 2
+
+    def test_evict_drops_oldest_first(self, store):
+        for i, key in enumerate((KEY_A, KEY_B, KEY_C)):
+            path = store.put(key, {"i": i})
+            os.utime(path, (1000.0 + i, 1000.0 + i))
+        removed = store.evict(max_bytes=store.size_bytes() - 1)
+        assert removed == 1
+        assert store.get(KEY_A) is None      # oldest gone
+        assert store.get(KEY_B) is not None
+        assert store.get(KEY_C) is not None
+
+    def test_get_touches_entry_for_lru(self, store):
+        pa = store.put(KEY_A, {})
+        pb = store.put(KEY_B, {})
+        os.utime(pa, (1000.0, 1000.0))
+        os.utime(pb, (2000.0, 2000.0))
+        store.get(KEY_A)                     # refresh recency of A
+        store.evict(max_bytes=pa.stat().st_size)
+        assert store.get(KEY_A) is not None  # B was evicted instead
+        assert store.get(KEY_B) is None
+
+    def test_evict_noop_when_under_budget(self, store):
+        store.put(KEY_A, {})
+        assert store.evict(max_bytes=10 ** 9) == 0
+        assert store.count() == 1
+
+
+class TestLastRunAndStats:
+    def test_last_run_round_trip(self, store):
+        assert store.read_last_run() is None
+        store.write_last_run({"jobs": 3, "hit_rate": 1.0})
+        assert store.read_last_run() == {"jobs": 3, "hit_rate": 1.0}
+
+    def test_stats_properties(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+        assert CacheStats().hit_rate == 0.0
+        assert stats.as_dict() == {"hits": 3, "misses": 1,
+                                   "stores": 0, "evictions": 0}
