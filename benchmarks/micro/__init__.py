@@ -1,0 +1,13 @@
+"""Hot-path microbenchmarks (kernel, striping, e2e quick runs).
+
+Unlike the paper-scale artifact benchmarks one directory up, these time
+the *engine*: event throughput of the discrete-event core, extent
+mapping in the striping layer, and the two quick-mode experiments the
+PR-2 optimization targeted.  The same workloads back the ``repro
+bench`` CLI subcommand (:mod:`repro.bench`), which writes the tracked
+``BENCH_kernel.json`` baseline.
+
+Run with::
+
+    pytest benchmarks/micro --benchmark-only
+"""

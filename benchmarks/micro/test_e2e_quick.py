@@ -1,0 +1,19 @@
+"""End-to-end quick-mode runs of the two optimization-target experiments.
+
+Serial and cache-free (straight through ``run_experiment``), so the
+reported wall time is the simulation itself — the number the PR-2
+acceptance criterion (>= 2x vs seed) is stated against.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+
+@pytest.mark.parametrize("exp_id", ["fig2", "fig6"])
+def test_experiment_quick_serial(benchmark, exp_id):
+    result = benchmark.pedantic(
+        lambda: run_experiment(exp_id, quick=True), rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = exp_id
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{exp_id}: failed checks {failed}"

@@ -1,0 +1,42 @@
+"""Striping-layer extent mapping throughput.
+
+Two shapes: large multi-spindle spans with varying offsets (times the
+closed-form mapper itself, defeating the memo) and a repeating strided
+shape (times the memoized ``extents()`` front door, the pattern the
+BTIO/FFT inner loops generate).
+"""
+
+from repro.pfs import StripeMap
+
+KB = 1024
+
+
+def test_iter_extents_large_span(benchmark):
+    smap = StripeMap(stripe_unit=64 * KB, n_io=8, disks_per_node=2)
+    nbytes = 256 * 64 * KB
+
+    def workload():
+        total = 0
+        for k in range(100):
+            for _ext in smap.iter_extents(k * 4096 + 11, nbytes):
+                total += 1
+        return total
+
+    total = benchmark(workload)
+    benchmark.extra_info["extents"] = total
+    assert total == 100 * smap.units_touched(11, nbytes)
+
+
+def test_extents_memoized_strided(benchmark):
+    smap = StripeMap(stripe_unit=64 * KB, n_io=4, disks_per_node=2)
+    keys = [(7 + i * 96 * KB, 2048) for i in range(200)]
+
+    def workload():
+        total = 0
+        for j in range(5000):
+            total += len(smap.extents(*keys[j % len(keys)]))
+        return total
+
+    total = benchmark(workload)
+    benchmark.extra_info["extents"] = total
+    assert total > 0

@@ -1,0 +1,31 @@
+"""Event throughput of the discrete-event core.
+
+Times a pure scheduling workload — N processes each yielding a chain of
+timeouts — so heap pops, callback dispatch, and the Timeout fast path
+dominate; there is no model code in the loop.
+"""
+
+from repro.sim import Environment
+
+N_PROCS = 64
+EVENTS_PER_PROC = 500
+
+
+def _ping(env, n):
+    timeout = env.timeout
+    for _ in range(n):
+        yield timeout(0.001)
+
+
+def _run_workload():
+    env = Environment()
+    for _ in range(N_PROCS):
+        env.process(_ping(env, EVENTS_PER_PROC))
+    env.run()
+    return env._eid
+
+
+def test_kernel_step_throughput(benchmark):
+    events = benchmark(_run_workload)
+    benchmark.extra_info["events"] = events
+    assert events > N_PROCS * EVENTS_PER_PROC

@@ -174,16 +174,13 @@ def _rank_program(rank: int, comm: Communicator, config: BTIOConfig,
     runs = _rank_runs(config, q, rank)
     io_t = 0.0
 
-    def timed(gen):
-        nonlocal io_t
-        t0 = env.now
-        result = yield from gen
-        io_t += env.now - t0
-        return result
-
     fname = (f"btio.out.{rank}" if config.version == "epio"
              else "btio.out")
-    f = yield from timed(interface.open(rank, fname, create=True))
+    # I/O generators are timed inline (t0/io_t): a timing wrapper
+    # generator would add one frame to every event resume underneath it.
+    t0 = env.now
+    f = yield from interface.open(rank, fname, create=True)
+    io_t += env.now - t0
     twophase = TwoPhaseIO(comm) if config.version == "collective" else None
     my_bytes = sum(nb for _, nb in runs)
 
@@ -195,18 +192,28 @@ def _rank_program(rank: int, comm: Communicator, config: BTIOConfig,
         base = dump * config.dump_bytes
         if config.version == "collective":
             reqs = [IORequest(base + off, nb) for off, nb in runs]
-            yield from timed(twophase.collective_write(rank, f, reqs))
+            t0 = env.now
+            yield from twophase.collective_write(rank, f, reqs)
+            io_t += env.now - t0
         elif config.version == "epio":
             # One large append of this rank's cells to its private file.
-            yield from timed(f.pwrite(dump * my_bytes, my_bytes))
+            t0 = env.now
+            yield from f.pwrite(dump * my_bytes, my_bytes)
+            io_t += env.now - t0
         else:
             for off, nb in runs:
-                yield from timed(f.seek(base + off))
-                yield from timed(f.write(nb))
+                t0 = env.now
+                yield from f.seek(base + off)
+                # pwrite at the explicit offset: same cost model as
+                # write() but without the pointer-advancing wrapper frame.
+                yield from f.pwrite(base + off, nb)
+                io_t += env.now - t0
         yield from comm.barrier(rank)
     phase_info.setdefault("t0", 0.0)
 
-    yield from timed(f.close())
+    t0 = env.now
+    yield from f.close()
+    io_t += env.now - t0
     factor = config.extrapolation_factor
     io_times[rank] = io_t * factor
     return io_times[rank]

@@ -34,6 +34,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.apps.base import AppMetadata, AppResult
+from repro.sim.events import Timeout
 from repro.iolib.fortranio import FortranIO
 from repro.iolib.passion import PassionIO, PrefetchReader
 from repro.machine.machine import Machine, MachineConfig
@@ -128,14 +129,6 @@ def _rank_program(rank: int, comm: Communicator, config: SCF11Config,
     fname = f"scf11.ints.{rank}"
     io_t = 0.0
 
-    def timed(gen):
-        """Run an I/O generator, accumulating app-perceived I/O time."""
-        nonlocal io_t
-        t0 = env.now
-        result = yield from gen
-        io_t += env.now - t0
-        return result
-
     # ---- direct (recompute) version: no disk, evaluate every pass ----
     if config.version == "direct":
         my_ints = my_bytes * ints_per_byte
@@ -152,14 +145,23 @@ def _rank_program(rank: int, comm: Communicator, config: SCF11Config,
         return 0.0
 
     # ---- iteration 1: evaluate integrals and write the private file ----
-    f = yield from timed(interface.open(rank, fname, create=True))
+    # I/O generators are timed inline (t0/io_t) rather than through a
+    # wrapper generator: the wrapper would add one frame to every event
+    # resume of the underlying I/O chain.
+    t0 = env.now
+    f = yield from interface.open(rank, fname, create=True)
+    io_t += env.now - t0
     for nbytes in _chunks_of(my_bytes, config.buffer_bytes):
         ints = nbytes * ints_per_byte
-        yield from node.compute(ints * config.eval_flops_per_integral)
+        t = node.compute_time(ints * config.eval_flops_per_integral)
+        node.busy_time += t
+        yield Timeout(env, t)
+        t0 = env.now
         if config.version == "original":
-            yield from timed(f.write_record(nbytes))
+            yield from f.write_record(nbytes)
         else:
-            yield from timed(f.seek_write(f.position, nbytes))
+            yield from f.seek_write(f.position, nbytes)
+        io_t += env.now - t0
 
     # Phase boundary: ranks synchronize after writing (the real code has a
     # global file-balance / energy step here) and we snapshot the phase
@@ -186,18 +188,26 @@ def _rank_program(rank: int, comm: Communicator, config: SCF11Config,
     else:
         for _ in range(read_iters):
             if config.version == "original":
-                yield from timed(f.rewind())
+                t0 = env.now
+                yield from f.rewind()
+                io_t += env.now - t0
             pos = 0
             for nbytes in _chunks_of(my_bytes, config.buffer_bytes):
+                t0 = env.now
                 if config.version == "original":
-                    yield from timed(f.read_record(nbytes))
+                    yield from f.read_record(nbytes)
                 else:
-                    yield from timed(f.seek_read(pos, nbytes))
+                    yield from f.seek_read(pos, nbytes)
                     pos += nbytes
+                io_t += env.now - t0
                 ints = nbytes * ints_per_byte
-                yield from node.compute(ints * config.fock_flops_per_integral)
+                t = node.compute_time(ints * config.fock_flops_per_integral)
+                node.busy_time += t
+                yield Timeout(env, t)
 
-    yield from timed(f.close())
+    t0 = env.now
+    yield from f.close()
+    io_t += env.now - t0
     # Energy check / convergence test each iteration (cheap collective).
     yield from comm.barrier(rank)
     # Extrapolate the read phase to the full iteration count.

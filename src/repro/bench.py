@@ -1,0 +1,296 @@
+"""Tracked microbenchmarks for the simulation hot path.
+
+The PR-2 fast paths (inlined run loop, Timeout self-scheduling,
+closed-form striping) are only worth their complexity if they stay
+fast, so this module gives every future PR a perf trajectory to check
+against:
+
+* :func:`bench_kernel_steps` — raw event throughput of the
+  discrete-event core (heap pop + callback dispatch + Timeout push).
+* :func:`bench_extent_map` — closed-form :meth:`StripeMap.iter_extents`
+  throughput over large multi-spindle spans.
+* :func:`bench_extent_map_memo` — memoized :meth:`StripeMap.extents`
+  on a repeating strided shape (the BTIO/FFT access pattern).
+* :func:`bench_experiment` — end-to-end wall time of one registered
+  experiment, run serially and cache-free.
+
+``repro bench`` runs the suite, writes ``BENCH_kernel.json`` and can
+compare against a committed baseline (``--check``).  Absolute numbers
+are machine-dependent, so every file embeds a :func:`calibrate`d
+pure-Python loop rate and comparisons are normalized by the ratio of
+calibrations before the regression tolerance is applied.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "DEFAULT_TOLERANCE",
+    "calibrate",
+    "bench_kernel_steps",
+    "bench_extent_map",
+    "bench_extent_map_memo",
+    "bench_experiment",
+    "run_suite",
+    "format_table",
+    "check_against",
+    "save_baseline",
+    "load_baseline",
+]
+
+SCHEMA_VERSION = 1
+#: Normalized slowdowns larger than this fail ``repro bench --check``.
+DEFAULT_TOLERANCE = 0.25
+
+_CALIBRATE_OPS = 1_000_000
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Pure-Python loop rate (ops/s) used to normalize across machines.
+
+    Deliberately interpreter-bound (no allocation, no C bulk work): the
+    hot paths being tracked are interpreter-bound too, so this is the
+    right yardstick for "same code, different host".
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        acc = 0
+        t0 = perf_counter()
+        for i in range(_CALIBRATE_OPS):
+            acc += i & 7
+        best = min(best, perf_counter() - t0)
+    assert acc >= 0
+    return _CALIBRATE_OPS / best
+
+
+def _pingers(env, n_procs: int, events_per_proc: int):
+    def ping(env, n):
+        timeout = env.timeout
+        for _ in range(n):
+            yield timeout(0.001)
+
+    for _ in range(n_procs):
+        env.process(ping(env, events_per_proc))
+
+
+def bench_kernel_steps(n_procs: int = 64, events_per_proc: int = 500,
+                       repeats: int = 3) -> float:
+    """Events processed per second by the core run loop (best of N)."""
+    from repro.sim import Environment
+
+    best = float("inf")
+    events = 0
+    for _ in range(repeats):
+        env = Environment()
+        _pingers(env, n_procs, events_per_proc)
+        t0 = perf_counter()
+        env.run()
+        best = min(best, perf_counter() - t0)
+        events = env._eid  # every scheduled event was processed
+    return events / best
+
+
+def bench_extent_map(n_requests: int = 400, span_units: int = 256,
+                     repeats: int = 3) -> float:
+    """Extents generated per second by the closed-form mapper.
+
+    Multi-spindle geometry (one extent per stripe unit touched) so the
+    per-extent arithmetic, not coalescing, dominates.  Offsets vary per
+    request to defeat the ``extents()`` memo — this times the mapper.
+    """
+    from repro.pfs import StripeMap
+
+    unit = 64 * 1024
+    smap = StripeMap(stripe_unit=unit, n_io=8, disks_per_node=2)
+    nbytes = span_units * unit
+    best = float("inf")
+    total = 0
+    for _ in range(repeats):
+        total = 0
+        t0 = perf_counter()
+        for k in range(n_requests):
+            for _ext in smap.iter_extents(k * 4096 + 11, nbytes):
+                total += 1
+        best = min(best, perf_counter() - t0)
+    return total / best
+
+
+def bench_extent_map_memo(n_lookups: int = 20_000,
+                          repeats: int = 3) -> float:
+    """Memoized ``extents()`` lookups per second on a strided shape.
+
+    Models the inner loop of a strided application phase: the same few
+    hundred (offset, nbytes) keys re-queried every iteration.
+    """
+    from repro.pfs import StripeMap
+
+    smap = StripeMap(stripe_unit=64 * 1024, n_io=4, disks_per_node=2)
+    run, stride, n_keys = 2048, 96 * 1024, 200
+    keys = [(7 + i * stride, run) for i in range(n_keys)]
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        for j in range(n_lookups):
+            offset, nbytes = keys[j % n_keys]
+            smap.extents(offset, nbytes)
+        best = min(best, perf_counter() - t0)
+    return n_lookups / best
+
+
+def bench_experiment(exp_id: str, repeats: int = 1) -> float:
+    """Wall seconds for one registered experiment, serial and cache-free.
+
+    Goes straight through :func:`repro.experiments.registry.run_experiment`
+    — the persistent result cache and the multiprocess runner are
+    deliberately bypassed so this times the simulation itself.
+    """
+    from repro.experiments.registry import run_experiment
+
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        run_experiment(exp_id, quick=True)
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+#: name -> (runner(quick) -> value, unit, higher_is_better)
+_SUITE: Dict[str, Tuple[Callable[[bool], float], str, bool]] = {
+    "kernel_steps": (
+        lambda quick: bench_kernel_steps(repeats=1 if quick else 3),
+        "events/s", True),
+    "extent_map": (
+        lambda quick: bench_extent_map(repeats=1 if quick else 3),
+        "extents/s", True),
+    "extent_map_memo": (
+        lambda quick: bench_extent_map_memo(repeats=1 if quick else 3),
+        "lookups/s", True),
+    "fig2_quick_serial": (
+        lambda quick: bench_experiment("fig2", repeats=1 if quick else 2),
+        "s", False),
+    "fig6_quick_serial": (
+        lambda quick: bench_experiment("fig6", repeats=1 if quick else 2),
+        "s", False),
+}
+
+
+def run_suite(quick: bool = False,
+              log: Optional[Callable[[str], None]] = None) -> dict:
+    """Run every tracked benchmark; return the serializable document."""
+    if log:
+        log("calibrating interpreter speed ...")
+    pyops = calibrate(repeats=1 if quick else 3)
+    results = {}
+    for name, (runner, unit, higher) in _SUITE.items():
+        if log:
+            log(f"running {name} ...")
+        value = runner(quick)
+        results[name] = {"value": value, "unit": unit,
+                         "higher_is_better": higher}
+    return {
+        "schema": SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "quick": quick,
+        "calibration": {"pyops_per_s": pyops},
+        "results": results,
+    }
+
+
+def format_table(doc: dict) -> str:
+    lines = [f"{'benchmark':<20} {'value':>14}  unit"]
+    for name, entry in doc["results"].items():
+        lines.append(f"{name:<20} {entry['value']:>14,.0f}  {entry['unit']}"
+                     if entry["higher_is_better"] else
+                     f"{name:<20} {entry['value']:>14.2f}  {entry['unit']}")
+    pyops = doc["calibration"]["pyops_per_s"]
+    lines.append(f"calibration: {pyops / 1e6:.1f} M pyops/s "
+                 f"(python {doc['python']}, quick={doc['quick']})")
+    return "\n".join(lines)
+
+
+def check_against(current: dict, baseline: dict,
+                  tolerance: float = DEFAULT_TOLERANCE
+                  ) -> Tuple[List[str], List[str]]:
+    """Compare ``current`` to ``baseline``; return (regressions, report).
+
+    Values are normalized by the calibration ratio first, so a slower CI
+    host does not read as a code regression; ``regressions`` names every
+    metric whose normalized slowdown exceeds ``tolerance``.
+    """
+    ratio = (current["calibration"]["pyops_per_s"]
+             / baseline["calibration"]["pyops_per_s"])
+    regressions: List[str] = []
+    report: List[str] = []
+    for name, base in baseline["results"].items():
+        cur = current["results"].get(name)
+        if cur is None:
+            regressions.append(name)
+            report.append(f"{name}: MISSING from current run")
+            continue
+        if base["higher_is_better"]:
+            expected = base["value"] * ratio          # faster host -> more
+            change = cur["value"] / expected - 1.0    # >0 is better
+        else:
+            expected = base["value"] / ratio          # faster host -> less
+            change = expected / cur["value"] - 1.0    # >0 is better
+        verdict = "ok" if change >= -tolerance else "REGRESSION"
+        if verdict != "ok":
+            regressions.append(name)
+        report.append(
+            f"{name}: {cur['value']:,.2f} {cur['unit']} vs expected "
+            f"{expected:,.2f} ({change:+.1%} normalized) {verdict}")
+    for name in current["results"]:
+        if name not in baseline["results"]:
+            report.append(f"{name}: new metric (no baseline)")
+    return regressions, report
+
+
+def save_baseline(path: str, doc: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported benchmark schema "
+                         f"{doc.get('schema')!r} (want {SCHEMA_VERSION})")
+    for key in ("calibration", "results"):
+        if key not in doc:
+            raise ValueError(f"{path}: missing {key!r}")
+    return doc
+
+
+def main_bench(args) -> int:  # pragma: no cover - exercised via CLI tests
+    """Implementation of ``repro bench`` (parsed args from repro.cli)."""
+    doc = run_suite(quick=args.quick,
+                    log=lambda msg: print(msg, file=sys.stderr))
+    print(format_table(doc))
+    if args.output:
+        save_baseline(args.output, doc)
+        print(f"wrote {args.output}", file=sys.stderr)
+    if args.check:
+        baseline = load_baseline(args.check)
+        regressions, report = check_against(doc, baseline,
+                                            tolerance=args.tolerance)
+        print(f"\nvs baseline {args.check} "
+              f"(tolerance {args.tolerance:.0%}):")
+        for line in report:
+            print(f"  {line}")
+        if regressions:
+            print(f"{len(regressions)} benchmark(s) regressed: "
+                  f"{', '.join(regressions)}", file=sys.stderr)
+            return 1
+        print("no regressions")
+    return 0

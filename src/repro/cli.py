@@ -8,6 +8,7 @@ Usage::
     python -m repro run all --no-cache
     python -m repro cache stats
     python -m repro info
+    python -m repro bench --quick --check BENCH_kernel.json
 
 Runs go through :mod:`repro.runner`: experiments decompose into
 independent jobs executed on ``--jobs`` worker processes, and every job
@@ -69,6 +70,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--quick", action="store_true",
                         help="scaled-down configurations")
     _add_runner_args(report)
+
+    bench = sub.add_parser(
+        "bench", help="run the tracked hot-path microbenchmarks")
+    bench.add_argument("--quick", action="store_true",
+                       help="single repetition per benchmark (CI smoke mode)")
+    bench.add_argument("-o", "--output", default="BENCH_kernel.json",
+                       metavar="PATH",
+                       help="write results here (default: BENCH_kernel.json; "
+                            "'' to skip)")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="compare against a baseline JSON; exit 1 if any "
+                            "metric regresses past --tolerance")
+    bench.add_argument("--tolerance", type=float, default=None,
+                       metavar="FRAC",
+                       help="allowed normalized slowdown (default: 0.25)")
 
     cache = sub.add_parser("cache", help="inspect or manage the result cache")
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -217,6 +233,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_info()
     if args.command == "report":
         return _cmd_report(args.output, args.quick, args)
+    if args.command == "bench":
+        from repro.bench import DEFAULT_TOLERANCE, main_bench
+
+        if args.tolerance is None:
+            args.tolerance = DEFAULT_TOLERANCE
+        return main_bench(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError("unreachable")

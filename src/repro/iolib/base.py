@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.pfs.filesystem import ParallelFileSystem
+from repro.sim.events import Timeout
 from repro.trace import IOOp, TraceCollector
 
 __all__ = ["InterfaceCosts", "IOInterface", "InterfaceFile"]
@@ -109,8 +110,9 @@ class InterfaceFile:
         """Process generator: move the file pointer."""
         if offset < 0:
             raise ValueError("cannot seek to a negative offset")
-        start = self.env.now
-        yield self.env.timeout(self._software_cost(
+        env = self.env
+        start = env._now
+        yield Timeout(env, self._software_cost(
             self._costs.seek_s, 0, self.rank))
         self.position = offset
         self._trace.record(IOOp.SEEK, self.rank, start, self.env.now - start,
@@ -130,8 +132,9 @@ class InterfaceFile:
 
     def pread(self, offset: int, nbytes: int):
         """Process generator: positioned read (pointer untouched)."""
-        start = self.env.now
-        yield self.env.timeout(self._software_cost(
+        env = self.env
+        start = env._now
+        yield Timeout(env, self._software_cost(
             self._costs.read_call_s, nbytes, self.rank))
         result = yield from self.handle.read_at(offset, nbytes)
         self._trace.record(IOOp.READ, self.rank, start, self.env.now - start,
@@ -140,8 +143,9 @@ class InterfaceFile:
 
     def pwrite(self, offset: int, nbytes: int, data: Optional[bytes] = None):
         """Process generator: positioned write (pointer untouched)."""
-        start = self.env.now
-        yield self.env.timeout(self._software_cost(
+        env = self.env
+        start = env._now
+        yield Timeout(env, self._software_cost(
             self._costs.write_call_s, nbytes, self.rank))
         result = yield from self.handle.write_at(offset, nbytes, data)
         self._trace.record(IOOp.WRITE, self.rank, start, self.env.now - start,

@@ -47,15 +47,15 @@ class FortranFile(InterfaceFile):
 
     def read_record(self, nbytes: int):
         """Process generator: read one unformatted record of ``nbytes``."""
-        data = yield from self.read(nbytes)
+        data = yield from self.pread(self.position, nbytes)
         # Record markers ride along with the payload on disk.
-        self.position += RECORD_MARKER_BYTES
+        self.position += nbytes + RECORD_MARKER_BYTES
         return data
 
     def write_record(self, nbytes: int, data=None):
         """Process generator: write one unformatted record."""
-        result = yield from self.write(nbytes, data)
-        self.position += RECORD_MARKER_BYTES
+        result = yield from self.pwrite(self.position, nbytes, data)
+        self.position += nbytes + RECORD_MARKER_BYTES
         return result
 
     def rewind(self):

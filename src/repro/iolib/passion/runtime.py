@@ -42,9 +42,13 @@ class PassionFile(InterfaceFile):
     def seek_read(self, offset: int, nbytes: int):
         """Process generator: explicit seek followed by a read."""
         yield from self.seek(offset)
-        return (yield from self.read(nbytes))
+        result = yield from self.pread(offset, nbytes)
+        self.position = offset + nbytes
+        return result
 
     def seek_write(self, offset: int, nbytes: int, data=None):
         """Process generator: explicit seek followed by a write."""
         yield from self.seek(offset)
-        return (yield from self.write(nbytes, data))
+        result = yield from self.pwrite(offset, nbytes, data)
+        self.position = offset + nbytes
+        return result

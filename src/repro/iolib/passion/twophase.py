@@ -66,14 +66,17 @@ class TwoPhaseIO:
         self.align = align
 
     # -- domain geometry ------------------------------------------------------
+    def _domain_span(self, lo: int, hi: int, align: int) -> int:
+        """Aligned bytes per file domain over [lo, hi) (the domain stride)."""
+        per = -(-(hi - lo) // self.comm.size)   # ceil
+        return -(-per // align) * align         # round up to alignment
+
     def _domains(self, lo: int, hi: int, align: int) -> List[Tuple[int, int]]:
         """Split [lo, hi) into one aligned contiguous domain per rank."""
         size = self.comm.size
-        span = hi - lo
-        if span <= 0:
+        if hi - lo <= 0:
             return [(lo, lo)] * size
-        per = -(-span // size)              # ceil
-        per = -(-per // align) * align      # round up to alignment
+        per = self._domain_span(lo, hi, align)
         domains = []
         start = lo
         for _ in range(size):
@@ -96,12 +99,22 @@ class TwoPhaseIO:
 
     def _gather_descriptors(self, rank: int, requests: Sequence[IORequest]):
         """Process generator: exchange request descriptors; returns the
-        global (lo, hi) and every rank's descriptor list."""
+        global (lo, hi) and every rank's descriptor list.
+
+        Each rank summarizes its *own* descriptors once and gathers the
+        (descriptors, lo, hi) triple, so computing the global range is
+        O(ranks) per rank instead of every rank rescanning every rank's
+        full descriptor list.  The simulated message size is unchanged —
+        a real implementation would piggyback two ints just the same.
+        """
         desc = [(r.offset, r.nbytes) for r in requests]
-        all_desc = yield from self.comm.allgather(
-            rank, desc, max(1, len(desc)) * _DESCRIPTOR_BYTES)
-        lo = min((o for d in all_desc for o, n in d if n > 0), default=0)
-        hi = max((o + n for d in all_desc for o, n in d if n > 0), default=0)
+        my_lo = min((o for o, n in desc if n > 0), default=None)
+        my_hi = max((o + n for o, n in desc if n > 0), default=None)
+        gathered = yield from self.comm.allgather(
+            rank, (desc, my_lo, my_hi), max(1, len(desc)) * _DESCRIPTOR_BYTES)
+        all_desc = [g[0] for g in gathered]
+        lo = min((g[1] for g in gathered if g[1] is not None), default=0)
+        hi = max((g[2] for g in gathered if g[2] is not None), default=0)
         return lo, hi, all_desc
 
     # -- collective write ---------------------------------------------------------
@@ -120,12 +133,21 @@ class TwoPhaseIO:
             return 0
         domains = self._domains(lo, hi, align)
 
-        # Communication phase: route each piece to its domain owner.
+        # Communication phase: route each piece to its domain owner.  The
+        # domains are a fixed-stride partition of [lo, hi), so the owners a
+        # request overlaps form a contiguous index range — visit only those
+        # instead of testing every (request × rank) pair.
+        per = self._domain_span(lo, hi, align)
+        last_owner = len(domains) - 1
         outgoing: Dict[int, List] = {}
         sizes: Dict[int, int] = {}
         for req in requests:
-            for owner, dom in enumerate(domains):
-                piece = self._pieces_for_domain(req, dom)
+            if req.nbytes <= 0:
+                continue
+            k_lo = (req.offset - lo) // per
+            k_hi = min((req.end - 1 - lo) // per, last_owner)
+            for owner in range(k_lo, k_hi + 1):
+                piece = self._pieces_for_domain(req, domains[owner])
                 if piece is not None:
                     outgoing.setdefault(owner, []).append(piece)
                     sizes[owner] = sizes.get(owner, 0) + piece[1]

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.sim import Environment, Resource
+from repro.sim.events import Timeout
 from repro.machine.params import NetworkParams
 from repro.machine.network.topology import Topology
 
@@ -40,6 +41,9 @@ class Fabric:
         self.topology = topology
         self.params = params
         self._nics: Dict[NodeAddress, Resource] = {}
+        #: (src, dst) -> fixed header cost; topology routes never change, so
+        #: hop counting is paid once per node pair, not once per message.
+        self._headers: Dict[tuple, float] = {}
         self.stats = FabricStats()
 
     def _nic(self, node: NodeAddress) -> Resource:
@@ -69,16 +73,31 @@ class Fabric:
         Intra-node "transfers" cost a memory copy only (handled by callers
         that care); here they are free but still take one event step.
         """
-        start = self.env.now
+        env = self.env
+        start = env._now
         if src == dst:
-            yield self.env.timeout(0.0)
+            yield Timeout(env, 0.0)
             return
         p = self.params
-        hops = self.topology.hops(src, dst)
-        header = p.latency_s + p.msg_overhead_s + hops * p.per_hop_s
-        with self._nic(dst).request() as slot:
-            yield slot
-            yield self.env.timeout(header + nbytes / p.link_bandwidth)
-        self.stats.messages += 1
-        self.stats.bytes_moved += nbytes
-        self.stats.total_transfer_time += self.env.now - start
+        header = self._headers.get((src, dst))
+        if header is None:
+            hops = self.topology.hops(src, dst)
+            header = p.latency_s + p.msg_overhead_s + hops * p.per_hop_s
+            self._headers[(src, dst)] = header
+        nic = self._nics.get(dst)
+        if nic is None:
+            nic = self._nic(dst)
+        wire = header + nbytes / p.link_bandwidth
+        if nic.acquire():
+            try:
+                yield Timeout(env, wire)
+            finally:
+                nic.release_slot()
+        else:
+            with nic.request() as slot:
+                yield slot
+                yield Timeout(env, wire)
+        stats = self.stats
+        stats.messages += 1
+        stats.bytes_moved += nbytes
+        stats.total_transfer_time += env._now - start

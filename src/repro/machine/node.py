@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.sim import Container, Environment, Resource
+from repro.sim.events import Timeout
 from repro.machine.disk import Disk
 from repro.machine.params import CPUParams, IONodeParams
 
@@ -100,18 +101,28 @@ class IONode:
             raise IndexError(f"disk {disk_index} out of range")
         disk = self.disks[disk_index]
         queue = self._queues[disk_index]
-        start = self.env.now
-        with queue.request() as slot:
-            yield slot
-            t = self.params.request_overhead_s + disk.service_time(
-                offset, nbytes, write=write)
-            yield self.env.timeout(t)
-        self.stats.requests += 1
-        if write:
-            self.stats.bytes_written += nbytes
+        env = self.env
+        start = env._now
+        if queue.acquire():
+            try:
+                t = self.params.request_overhead_s + disk.service_time(
+                    offset, nbytes, write=write)
+                yield Timeout(env, t)
+            finally:
+                queue.release_slot()
         else:
-            self.stats.bytes_read += nbytes
-        self.stats.busy_time += self.env.now - start
+            with queue.request() as slot:
+                yield slot
+                t = self.params.request_overhead_s + disk.service_time(
+                    offset, nbytes, write=write)
+                yield Timeout(env, t)
+        stats = self.stats
+        stats.requests += 1
+        if write:
+            stats.bytes_written += nbytes
+        else:
+            stats.bytes_read += nbytes
+        stats.busy_time += env._now - start
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<IONode {self.node_id} disks={self.n_disks}>"

@@ -7,6 +7,7 @@ from typing import Dict, List, Tuple, TYPE_CHECKING
 from repro.machine.node import IONode
 from repro.pfs.cache import StripeCache
 from repro.pfs.striping import Extent
+from repro.sim.events import Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pfs.file import PFile
@@ -37,6 +38,9 @@ class IOServer:
         self._dirty = Container(self.env,
                                 capacity=max(1, io_node.params
                                              .write_buffer_bytes))
+        #: Writes at least this large bypass the write-behind buffer.
+        self._write_through = min(io_node.params.write_through_bytes,
+                                  int(self._dirty.capacity) // 2 + 1)
         #: Per-disk lists of (offset, length) awaiting flush.
         self._pending: Dict[int, List[Tuple[int, int]]] = {}
         self._flusher_running: Dict[int, bool] = {}
@@ -64,12 +68,28 @@ class IOServer:
         """Process generator: serve one read extent."""
         if extent.io_index != self.io_index:
             raise ValueError("extent routed to the wrong server")
-        keys = [(file.file_id, extent.disk_index, u)
-                for u in self._unit_span(file, extent)]
-        if all(self.cache.lookup(k) for k in keys):
-            with self._cpu.request() as slot:
-                yield slot
-                yield self.env.timeout(self._cache_time(extent.length))
+        su = file.stripe_map.stripe_unit
+        file_id = file.file_id
+        disk_index = extent.disk_index
+        first = extent.disk_offset // su
+        last = (extent.disk_offset + extent.length - 1) // su
+        lookup = self.cache.lookup
+        hit = True
+        for u in range(first, last + 1):
+            if not lookup((file_id, disk_index, u)):
+                hit = False
+                break
+        if hit:
+            cpu = self._cpu
+            if cpu.acquire():
+                try:
+                    yield Timeout(self.env, self._cache_time(extent.length))
+                finally:
+                    cpu.release_slot()
+            else:
+                with cpu.request() as slot:
+                    yield slot
+                    yield Timeout(self.env, self._cache_time(extent.length))
             return
         # Miss: go to disk.  The server fetches whole stripe units (block
         # granularity, like the real PFS/PIOFS block servers), keeping the
@@ -77,21 +97,19 @@ class IOServer:
         # a read-ahead window so a sequential stream of them hits the
         # cache from then on.
         ra = self.io_node.params.readahead_bytes
-        su = file.stripe_map.stripe_unit
         do_ra = 0 < extent.length <= ra
-        unit_lo = (extent.disk_offset // su) * su
-        unit_hi = -(-(extent.disk_offset + extent.length) // su) * su
+        unit_lo = first * su
+        unit_hi = (last + 1) * su
         serve_len = (unit_hi - unit_lo) + (ra if do_ra else 0)
         yield from self.io_node.serve(
-            extent.disk_index, self._base(file, extent) + unit_lo,
+            disk_index, self._base(file, extent) + unit_lo,
             serve_len, write=False)
-        for key in keys:
-            self.cache.insert(key)
+        insert = self.cache.insert
+        for u in range(first, last + 1):
+            insert((file_id, disk_index, u))
         if do_ra:
-            last_unit = keys[-1][2]
             for ahead in range(1, max(1, ra // su) + 1):
-                self.cache.insert((file.file_id, extent.disk_index,
-                                   last_unit + ahead))
+                insert((file_id, disk_index, last + ahead))
 
     def write_extent(self, file: "PFile", extent: Extent):
         """Process generator: serve one write extent.
@@ -105,26 +123,34 @@ class IOServer:
         if extent.io_index != self.io_index:
             raise ValueError("extent routed to the wrong server")
         disk_offset = self._base(file, extent) + extent.disk_offset
-        if extent.length >= min(self.io_node.params.write_through_bytes,
-                                self._dirty.capacity // 2 + 1):
+        if extent.length >= self._write_through:
             self.writes_direct += 1
             yield from self.io_node.serve(extent.disk_index, disk_offset,
                                           extent.length, write=True)
         else:
             self.writes_buffered += 1
             yield self._dirty.put(extent.length)
-            with self._cpu.request() as slot:
-                yield slot
-                yield self.env.timeout(self._cache_time(extent.length))
+            cpu = self._cpu
+            if cpu.acquire():
+                try:
+                    yield Timeout(self.env, self._cache_time(extent.length))
+                finally:
+                    cpu.release_slot()
+            else:
+                with cpu.request() as slot:
+                    yield slot
+                    yield Timeout(self.env, self._cache_time(extent.length))
             self._pending.setdefault(extent.disk_index, []).append(
                 (disk_offset, extent.length))
             if not self._flusher_running.get(extent.disk_index):
                 self._flusher_running[extent.disk_index] = True
                 self.env.process(self._flush_loop(extent.disk_index),
                                  name=f"flush-io{self.io_index}")
-        for key in [(file.file_id, extent.disk_index, u)
-                    for u in self._unit_span(file, extent)]:
-            self.cache.insert(key)
+        su = file.stripe_map.stripe_unit
+        insert = self.cache.insert
+        for u in range(extent.disk_offset // su,
+                       (extent.disk_offset + extent.length - 1) // su + 1):
+            insert((file.file_id, extent.disk_index, u))
 
     @staticmethod
     def _merge_runs(runs: List[Tuple[int, int]]) -> List[Tuple[int, int]]:

@@ -5,10 +5,17 @@ The design follows the classic generator-based discrete-event style
 with either a value (``succeed``) or an exception (``fail``); callbacks run
 when the environment processes the event.  Processes (see
 :mod:`repro.sim.process`) yield events to wait on them.
+
+Triggering is on the hot path of every simulation (hundreds of thousands
+of events per figure point), so ``succeed``/``fail``/``Timeout`` push the
+heap entry directly instead of going through
+:meth:`~repro.sim.core.Environment.schedule`; the entry layout
+``(time, priority, sequence, event)`` is shared with the environment.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional
 
 __all__ = ["PENDING", "Event", "Timeout", "AnyOf", "AllOf", "Condition"]
@@ -79,7 +86,9 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, NORMAL)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -95,14 +104,20 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.env.schedule(self, NORMAL)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (for chaining)."""
+        if self._value is not PENDING:
+            raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = event._ok
         self._value = event._value
-        self.env.schedule(self, NORMAL)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
 
     def defused(self) -> "Event":
         """Mark a failed event as handled so the environment won't re-raise."""
@@ -123,18 +138,27 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
+
+    The constructor writes every slot directly and pushes its own heap
+    entry: a Timeout is born triggered with exactly one eventual waiter in
+    the common case, so the generic ``Event.__init__`` + ``schedule`` pair
+    would only re-derive state already known here.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env, delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Timeout delay={self.delay}>"
@@ -162,19 +186,20 @@ class Condition(Event):
         if not self._events:
             self.succeed({})
             return
+        check = self._check
         for event in self._events:
-            if event.processed:
-                self._check(event)
+            if event.callbacks is None:
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
     def _collect_values(self) -> dict:
         # Only *processed* children count: a Timeout carries its value from
         # birth, but it hasn't "happened" until the queue processes it.
-        return {e: e._value for e in self._events if e.processed}
+        return {e: e._value for e in self._events if e.callbacks is None}
 
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             return
         self._count += 1
         if not event._ok:
@@ -184,11 +209,49 @@ class Condition(Event):
             self.succeed(self._collect_values())
 
 
-def AllOf(env, events) -> Condition:
+class AllOf(Condition):
     """Condition met once *all* child events have been processed."""
-    return Condition(env, lambda events, count: count == len(events), events)
+
+    __slots__ = ()
+
+    def __init__(self, env, events):
+        super().__init__(env, _all_events, events)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._count == len(self._events):
+            self.succeed({e: e._value for e in self._events
+                          if e.callbacks is None})
 
 
-def AnyOf(env, events) -> Condition:
+class AnyOf(Condition):
     """Condition met once *any* child event has been processed."""
-    return Condition(env, lambda events, count: count >= 1, events)
+
+    __slots__ = ()
+
+    def __init__(self, env, events):
+        super().__init__(env, _any_events, events)
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        else:
+            self.succeed({e: e._value for e in self._events
+                          if e.callbacks is None})
+
+
+def _all_events(events, count) -> bool:
+    return count == len(events)
+
+
+def _any_events(events, count) -> bool:
+    return count >= 1

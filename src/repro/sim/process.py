@@ -82,23 +82,27 @@ class Process(Event):
         """Advance the generator with the outcome of ``event``."""
         env = self.env
         env._active_process = self
+        generator = self._generator
+        send = generator.send
         while True:
             # Detach from the old target: if an interrupt arrived while we
             # waited, the original target may still fire later; it must not
             # resume us twice.
-            if self._target is not None and self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
-            self._target = None
+            target = self._target
+            if target is not None:
+                if target.callbacks is not None:
+                    try:
+                        target.callbacks.remove(self._resume)
+                    except ValueError:
+                        pass
+                self._target = None
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     # The waited-on event failed; propagate into the process.
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 self._ok = True
                 self._value = exc.value
@@ -119,7 +123,7 @@ class Process(Event):
                 exc = RuntimeError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}")
                 try:
-                    self._generator.throw(exc)
+                    generator.throw(exc)
                 except StopIteration as stop:
                     self._ok = True
                     self._value = stop.value

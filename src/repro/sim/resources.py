@@ -8,13 +8,18 @@ process, a bounded memory buffer is a ``Container``.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Deque, List, Optional
 
-from repro.sim.events import Event
+from repro.sim.events import Event, NORMAL, PENDING
 from repro.sim.exceptions import SimulationError
 
 __all__ = ["Request", "Release", "Resource", "PriorityRequest",
            "PriorityResource", "Store", "Container"]
+
+#: Opaque marker held in ``Resource._users`` for slots taken via
+#: :meth:`Resource.acquire` (no Request object exists for those holds).
+_SLOT = object()
 
 
 class Request(Event):
@@ -30,7 +35,13 @@ class Request(Event):
     __slots__ = ("resource",)
 
     def __init__(self, resource: "Resource"):
-        super().__init__(resource.env)
+        # Inlined Event.__init__ — requests are allocated once per
+        # disk/NIC/CPU hold, hundreds of thousands of times per sweep.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
         self.resource = resource
         resource._do_request(self)
 
@@ -38,7 +49,11 @@ class Request(Event):
         return self
 
     def __exit__(self, exc_type, exc_val, exc_tb) -> None:
-        self.resource.release(self)
+        # The Release event release() returns is always discarded here, so
+        # skip allocating (and scheduling) it: with-block releases are the
+        # hot path — one per disk/NIC/CPU hold, hundreds of thousands per
+        # figure point.
+        self.resource._release_quiet(self)
 
     def cancel(self) -> None:
         """Withdraw a not-yet-granted request from the wait queue."""
@@ -63,7 +78,7 @@ class Resource:
             raise ValueError("capacity must be positive")
         self.env = env
         self.capacity = capacity
-        self._users: List[Request] = []
+        self._users: List[Any] = []  # Request objects and _SLOT markers
         self._waiting: Deque[Request] = deque()
 
     @property
@@ -80,10 +95,38 @@ class Resource:
         """Claim a slot; the returned event fires once the slot is granted."""
         return Request(self)
 
-    def _do_request(self, req: Request) -> None:
+    def acquire(self) -> bool:
+        """Synchronously take a slot if one is free, without allocating a
+        :class:`Request`.
+
+        Returns True when the slot was taken; the caller must then pair
+        it with :meth:`release_slot` (use try/finally).  This is the
+        no-event, no-allocation fast path for the uncontended
+        ``with resource.request()`` pattern on hot call sites; when it
+        returns False, fall back to :meth:`request` and queue normally.
+        """
         if len(self._users) < self.capacity:
-            self._users.append(req)
-            req.succeed()
+            self._users.append(_SLOT)
+            return True
+        return False
+
+    def release_slot(self) -> None:
+        """Release a slot taken by :meth:`acquire`, waking the next waiter."""
+        self._users.remove(_SLOT)
+        if self._waiting:
+            self._grant_next()
+
+    def _do_request(self, req: Request) -> None:
+        users = self._users
+        if len(users) < self.capacity:
+            users.append(req)
+            # Grant synchronously: the request is born *processed* (no
+            # callbacks could have been registered yet), so a process
+            # yielding it continues inline instead of paying a heap
+            # round-trip.  Waiters woken by ``_grant_next`` still go
+            # through the queue — they have a registered callback.
+            req._value = None
+            req.callbacks = None
         else:
             self._waiting.append(req)
 
@@ -92,20 +135,32 @@ class Resource:
 
         Releasing an ungranted (still waiting) request simply cancels it.
         """
-        if req in self._users:
-            self._users.remove(req)
-            self._grant_next()
-        else:
-            req.cancel()
+        self._release_quiet(req)
         ev = Release(self.env)
         ev.succeed()
         return ev
 
+    def _release_quiet(self, req: Request) -> None:
+        """Release without allocating the confirmation event."""
+        users = self._users
+        if req in users:
+            users.remove(req)
+            if self._waiting:
+                self._grant_next()
+        else:
+            req.cancel()
+
     def _grant_next(self) -> None:
-        while self._waiting and len(self._users) < self.capacity:
-            nxt = self._waiting.popleft()
-            self._users.append(nxt)
-            nxt.succeed()
+        waiting = self._waiting
+        users = self._users
+        capacity = self.capacity
+        env = self.env
+        while waiting and len(users) < capacity:
+            nxt = waiting.popleft()
+            users.append(nxt)
+            nxt._value = None
+            env._eid += 1
+            heappush(env._queue, (env._now, NORMAL, env._eid, nxt))
 
 
 class PriorityRequest(Request):

@@ -41,13 +41,24 @@ class TraceCollector:
         self._per_rank_io_time: Dict[int, float] = defaultdict(float)
 
     def record(self, op: IOOp, rank: int, start: float, duration: float,
-               nbytes: int = 0, file: Optional[str] = None) -> TraceRecord:
-        rec = TraceRecord(op, rank, start, duration, nbytes, file)
-        self._agg[op].add(rec)
+               nbytes: int = 0,
+               file: Optional[str] = None) -> Optional[TraceRecord]:
+        """Add one operation; returns the record only when keeping records.
+
+        Aggregates are updated in place without materializing a
+        :class:`TraceRecord` — record() runs once per simulated I/O call,
+        millions of times per sweep.
+        """
+        agg = self._agg[op]
+        agg.count += 1
+        agg.time += duration
+        agg.nbytes += nbytes
         self._per_rank_io_time[rank] += duration
         if self.keep_records:
+            rec = TraceRecord(op, rank, start, duration, nbytes, file)
             self.records.append(rec)
-        return rec
+            return rec
+        return None
 
     # -- aggregate views ---------------------------------------------------------
     def aggregate(self, op: IOOp) -> OpAggregate:

@@ -1,0 +1,149 @@
+"""Tests for the tracked microbenchmark tooling (repro.bench).
+
+The timing functions are exercised with tiny workloads (sanity, not
+performance); the JSON schema and the calibration-normalized regression
+check are exercised with synthetic documents.
+"""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import build_parser
+
+
+def _doc(kernel=1000.0, fig2=2.0, pyops=1e7):
+    return {
+        "schema": bench.SCHEMA_VERSION,
+        "created": "2026-01-01T00:00:00Z",
+        "python": "3.11.7",
+        "platform": "test",
+        "quick": True,
+        "calibration": {"pyops_per_s": pyops},
+        "results": {
+            "kernel_steps": {"value": kernel, "unit": "events/s",
+                             "higher_is_better": True},
+            "fig2_quick_serial": {"value": fig2, "unit": "s",
+                                  "higher_is_better": False},
+        },
+    }
+
+
+class TestTimers:
+    def test_calibrate_positive(self):
+        assert bench.calibrate(repeats=1) > 0
+
+    def test_kernel_steps_counts_all_events(self):
+        rate = bench.bench_kernel_steps(n_procs=4, events_per_proc=10,
+                                        repeats=1)
+        assert rate > 0
+
+    def test_extent_map_positive(self):
+        assert bench.bench_extent_map(n_requests=5, span_units=8,
+                                      repeats=1) > 0
+
+    def test_extent_map_memo_positive(self):
+        assert bench.bench_extent_map_memo(n_lookups=100, repeats=1) > 0
+
+    def test_suite_names_are_stable(self):
+        assert set(bench._SUITE) == {
+            "kernel_steps", "extent_map", "extent_map_memo",
+            "fig2_quick_serial", "fig6_quick_serial"}
+
+
+class TestBaselineIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "b.json"
+        bench.save_baseline(str(path), _doc())
+        assert bench.load_baseline(str(path)) == _doc()
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        doc = _doc()
+        doc["schema"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="schema"):
+            bench.load_baseline(str(path))
+
+    def test_missing_results_rejected(self, tmp_path):
+        path = tmp_path / "b.json"
+        doc = _doc()
+        del doc["results"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="results"):
+            bench.load_baseline(str(path))
+
+
+class TestRegressionCheck:
+    def test_identical_runs_pass(self):
+        regressions, report = bench.check_against(_doc(), _doc())
+        assert regressions == []
+        assert all("ok" in line for line in report)
+
+    def test_throughput_drop_flagged(self):
+        regressions, _ = bench.check_against(_doc(kernel=700.0), _doc(),
+                                             tolerance=0.25)
+        assert regressions == ["kernel_steps"]
+
+    def test_wall_time_increase_flagged(self):
+        regressions, _ = bench.check_against(_doc(fig2=2.8), _doc(),
+                                             tolerance=0.25)
+        assert regressions == ["fig2_quick_serial"]
+
+    def test_small_drift_within_tolerance_passes(self):
+        regressions, _ = bench.check_against(
+            _doc(kernel=900.0, fig2=2.2), _doc(), tolerance=0.25)
+        assert regressions == []
+
+    def test_slower_host_is_normalized_away(self):
+        # Half the interpreter speed: throughput halves, wall doubles —
+        # that is the host, not the code, so it must pass.
+        current = _doc(kernel=500.0, fig2=4.0, pyops=5e6)
+        regressions, _ = bench.check_against(current, _doc(),
+                                             tolerance=0.25)
+        assert regressions == []
+
+    def test_real_regression_on_slower_host_still_caught(self):
+        current = _doc(kernel=250.0, fig2=8.0, pyops=5e6)
+        regressions, _ = bench.check_against(current, _doc(),
+                                             tolerance=0.25)
+        assert set(regressions) == {"kernel_steps", "fig2_quick_serial"}
+
+    def test_missing_metric_is_a_regression(self):
+        current = _doc()
+        del current["results"]["kernel_steps"]
+        regressions, report = bench.check_against(current, _doc())
+        assert "kernel_steps" in regressions
+        assert any("MISSING" in line for line in report)
+
+    def test_new_metric_is_reported_not_failed(self):
+        current = _doc()
+        current["results"]["extra"] = {"value": 1.0, "unit": "s",
+                                      "higher_is_better": False}
+        regressions, report = bench.check_against(current, _doc())
+        assert regressions == []
+        assert any("new metric" in line for line in report)
+
+
+class TestCLIWiring:
+    def test_bench_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--check", "BENCH_kernel.json",
+             "--tolerance", "0.1", "-o", "out.json"])
+        assert args.command == "bench"
+        assert args.quick and args.check == "BENCH_kernel.json"
+        assert args.tolerance == 0.1
+        assert args.output == "out.json"
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.output == "BENCH_kernel.json"
+        assert args.check is None
+        assert args.tolerance is None  # main() substitutes DEFAULT_TOLERANCE
+
+    def test_format_table_mentions_every_metric(self):
+        table = bench.format_table(_doc())
+        assert "kernel_steps" in table
+        assert "fig2_quick_serial" in table
+        assert "calibration" in table

@@ -1,0 +1,36 @@
+"""Output parity for the perf-optimized hot path.
+
+The PR-2 fast paths (inlined run loop, Timeout/Request scheduling
+shortcuts, closed-form striping, quiet releases) must be
+output-preserving *by construction*: these tests assert the rendered
+figure text of the two experiments the optimization targets (fig2 and
+fig6, quick mode) stays byte-identical to the golden copies recorded
+from the seed implementation (``tests/golden/``).
+
+If a deliberate modelling change alters the numbers, regenerate the
+goldens and say so in the PR::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.experiments.registry import run_experiment
+    for exp in ("fig2", "fig6"):
+        text = run_experiment(exp, quick=True).to_text()
+        open(f"tests/golden/{exp}_quick.txt", "w").write(text + "\n")
+    EOF
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+@pytest.mark.parametrize("exp_id", ["fig2", "fig6"])
+def test_quick_figure_stdout_matches_seed(exp_id):
+    golden = (GOLDEN_DIR / f"{exp_id}_quick.txt").read_text()
+    result = run_experiment(exp_id, quick=True)
+    assert result.to_text() + "\n" == golden, (
+        f"{exp_id} quick output drifted from the recorded seed golden — "
+        "the hot-path optimizations must be output-preserving")

@@ -49,6 +49,112 @@ class TestEnvironmentBasics:
         assert Environment().run() is None
 
 
+class TestRunHorizon:
+    """run(until=number) semantics pinned against the inlined run loop."""
+
+    def test_event_exactly_at_horizon_is_processed(self):
+        env = Environment()
+        t = env.timeout(5.0)
+        env.run(until=5.0)
+        assert t.processed
+        assert env.now == 5.0
+
+    def test_event_just_past_horizon_is_not_processed(self):
+        env = Environment()
+        t = env.timeout(5.0 + 1e-9)
+        env.run(until=5.0)
+        assert not t.processed
+        assert env.now == 5.0
+
+    def test_clock_advances_past_empty_queue(self):
+        env = Environment()
+        env.run(until=42.0)
+        assert env.now == 42.0
+
+    def test_clock_advances_to_horizon_after_last_event(self):
+        env = Environment()
+        env.timeout(1.0)
+        env.run(until=9.0)
+        assert env.now == 9.0
+
+    def test_horizon_equal_to_now_is_allowed(self):
+        env = Environment(initial_time=3.0)
+        env.run(until=3.0)
+        assert env.now == 3.0
+
+    def test_successive_horizons_accumulate(self):
+        env = Environment()
+        fired = []
+        for d in (1.0, 2.0, 3.0):
+            t = env.timeout(d)
+            t.callbacks.append(lambda e, d=d: fired.append(d))
+        env.run(until=1.5)
+        assert fired == [1.0]
+        env.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        env.run(until=10.0)
+        assert fired == [1.0, 2.0, 3.0]
+        assert env.now == 10.0
+
+    def test_failed_event_still_raises_within_horizon(self):
+        env = Environment()
+        env.event().fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=1.0)
+
+
+class TestTimeoutFastPath:
+    """The Timeout constructor schedules itself without Environment.schedule;
+    these pin the invariants that shortcut must preserve."""
+
+    def test_timeout_is_triggered_at_birth(self, env):
+        t = env.timeout(2.0, value="v")
+        assert t.triggered
+        assert not t.processed
+        assert t.ok
+
+    def test_timeout_interleaves_fifo_with_other_events(self, env):
+        order = []
+        a = env.timeout(1.0)
+        b = env.event()
+        b.callbacks.append(lambda e: order.append("event"))
+        a.callbacks.append(lambda e: order.append("timeout"))
+        env.run(until=0.5)
+        b.succeed()           # scheduled at 0.5, after the pending timeout's
+        env.run()             # entry but processed first (earlier time)
+        assert order == ["event", "timeout"]
+
+    def test_timeout_sequence_ids_stay_fifo_with_schedule(self, env):
+        order = []
+        t1 = env.timeout(1.0)
+        ev = env.event()
+        ev._value = None
+        env.schedule(ev, delay=1.0)
+        t2 = env.timeout(1.0)
+        for tag, e in (("t1", t1), ("ev", ev), ("t2", t2)):
+            e.callbacks.append(lambda _, tag=tag: order.append(tag))
+        env.run()
+        assert order == ["t1", "ev", "t2"]
+
+    def test_timeout_cannot_be_retriggered(self, env):
+        t = env.timeout(1.0)
+        with pytest.raises(RuntimeError):
+            t.succeed()
+        env.run()
+        with pytest.raises(RuntimeError):
+            t.succeed()
+
+    def test_zero_delay_timeout_fires_at_now(self, env):
+        stamps = []
+        def p(env):
+            yield env.timeout(3.5)
+            yield env.timeout(0)
+            stamps.append(env.now)
+        env.process(p(env))
+        env.run()
+        assert stamps == [3.5]
+
+
 class TestEvents:
     def test_event_starts_untriggered(self, env):
         ev = env.event()

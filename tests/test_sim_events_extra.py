@@ -25,6 +25,32 @@ class TestEventChaining:
         assert not dst.ok
         assert isinstance(dst._value, ValueError)
 
+    def test_trigger_on_triggered_event_raises(self, env):
+        """Regression: trigger() must guard like succeed()/fail() — a second
+        trigger used to silently double-schedule the event."""
+        src = env.event().succeed("first")
+        dst = env.event()
+        dst.trigger(src)
+        with pytest.raises(RuntimeError, match="already been triggered"):
+            dst.trigger(src)
+
+    def test_trigger_after_succeed_raises(self, env):
+        src = env.event().succeed("x")
+        dst = env.event().succeed("y")
+        with pytest.raises(RuntimeError, match="already been triggered"):
+            dst.trigger(src)
+
+    def test_trigger_rejected_event_is_not_double_scheduled(self, env):
+        src = env.event().succeed("v")
+        dst = env.event()
+        dst.trigger(src)
+        with pytest.raises(RuntimeError):
+            dst.trigger(src)
+        seen = []
+        dst.callbacks.append(lambda e: seen.append(e.value))
+        env.run()
+        assert seen == ["v"]  # processed exactly once
+
 
 class TestSchedulingOrder:
     def test_urgent_priority_processed_first(self, env):

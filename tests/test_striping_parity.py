@@ -1,0 +1,119 @@
+"""Parity tests: optimized StripeMap extent mapping vs. the naive oracle.
+
+The optimized :meth:`StripeMap.iter_extents` computes extents with
+closed-form arithmetic (one loop iteration per extent); the kept
+:meth:`StripeMap.reference_extents` walks the range one stripe unit at a
+time, coalescing adjacent pieces like the seed implementation.  These
+tests assert both emit *identical* sequences over seeded randomized
+geometries and the edge cases that matter (zero-length ranges, ranges
+that start/end exactly on unit boundaries, single-spindle coalescing).
+"""
+
+import random
+
+import pytest
+
+from repro.pfs import StripeMap
+
+KB = 1024
+
+
+def assert_parity(smap: StripeMap, offset: int, nbytes: int) -> None:
+    fast = list(smap.iter_extents(offset, nbytes))
+    naive = smap.reference_extents(offset, nbytes)
+    assert fast == naive, (
+        f"extent mismatch for {smap!r} offset={offset} nbytes={nbytes}")
+
+
+class TestSeededRandomParity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_cases_match_reference(self, seed):
+        rng = random.Random(0xC0FFEE + seed)
+        for _ in range(200):
+            unit = rng.choice([1, 7, KB, 4 * KB, 32 * KB, 64 * KB])
+            smap = StripeMap(stripe_unit=unit,
+                             n_io=rng.randint(1, 16),
+                             disks_per_node=rng.randint(1, 4))
+            offset = rng.randrange(0, 64 * unit)
+            nbytes = rng.randrange(0, 32 * unit)
+            assert_parity(smap, offset, nbytes)
+
+    def test_randomized_strided_shapes_match_reference(self):
+        """BTIO/FFT-style strided patterns: many small runs, fixed stride."""
+        rng = random.Random(2024)
+        for _ in range(50):
+            smap = StripeMap(stripe_unit=rng.choice([32 * KB, 64 * KB]),
+                             n_io=rng.randint(1, 8),
+                             disks_per_node=rng.randint(1, 4))
+            run = rng.randrange(1, 4 * KB)
+            stride = run + rng.randrange(0, 256 * KB)
+            base = rng.randrange(0, 128 * KB)
+            for i in range(20):
+                assert_parity(smap, base + i * stride, run)
+
+
+class TestEdgeParity:
+    @pytest.mark.parametrize("n_io,disks", [(1, 1), (1, 4), (4, 1), (4, 4)])
+    def test_zero_length_is_empty(self, n_io, disks):
+        smap = StripeMap(64 * KB, n_io, disks)
+        for offset in (0, 1, 64 * KB - 1, 64 * KB, 10 * 64 * KB + 17):
+            assert_parity(smap, offset, 0)
+            assert smap.extents(offset, 0) == []
+
+    @pytest.mark.parametrize("n_io,disks", [(1, 1), (1, 3), (3, 1), (4, 2)])
+    def test_unit_boundary_edges(self, n_io, disks):
+        unit = 4 * KB
+        smap = StripeMap(unit, n_io, disks)
+        cases = [
+            (0, unit),              # exactly one unit
+            (0, unit - 1),          # one byte short of the boundary
+            (0, unit + 1),          # one byte past the boundary
+            (unit - 1, 1),          # last byte of a unit
+            (unit - 1, 2),          # straddles the boundary
+            (unit, unit),           # starts on the second unit
+            (3 * unit, 5 * unit),   # aligned multi-unit span
+            (3 * unit - 7, 5 * unit + 14),  # unaligned multi-unit span
+        ]
+        for offset, nbytes in cases:
+            assert_parity(smap, offset, nbytes)
+
+    def test_single_spindle_coalesces_to_one_extent(self):
+        smap = StripeMap(KB, 1, 1)
+        exts = list(smap.iter_extents(5, 100 * KB))
+        assert len(exts) == 1
+        assert exts[0].disk_offset == 5
+        assert exts[0].length == 100 * KB
+        assert_parity(smap, 5, 100 * KB)
+
+    def test_multi_spindle_one_extent_per_unit(self):
+        smap = StripeMap(KB, 4, 2)
+        exts = list(smap.iter_extents(0, 16 * KB))
+        assert len(exts) == smap.units_touched(0, 16 * KB)
+        assert_parity(smap, 0, 16 * KB)
+
+    def test_negative_arguments_rejected(self):
+        smap = StripeMap(KB, 2)
+        with pytest.raises(ValueError):
+            list(smap.iter_extents(-1, 10))
+        with pytest.raises(ValueError):
+            list(smap.iter_extents(0, -10))
+        with pytest.raises(ValueError):
+            smap.reference_extents(-1, 10)
+
+
+class TestMemo:
+    def test_extents_memo_returns_equal_fresh_lists(self):
+        smap = StripeMap(64 * KB, 4, 2)
+        a = smap.extents(100, 300 * KB)
+        b = smap.extents(100, 300 * KB)
+        assert a == b
+        assert a is not b        # callers may mutate their copy
+        a.clear()
+        assert smap.extents(100, 300 * KB) == b
+
+    def test_memo_bounded(self):
+        from repro.pfs.striping import _MEMO_LIMIT
+        smap = StripeMap(KB, 2)
+        for i in range(_MEMO_LIMIT + 10):
+            smap.extents(i, 10)
+        assert len(smap._memo) <= _MEMO_LIMIT
