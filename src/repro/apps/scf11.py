@@ -34,7 +34,6 @@ from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.apps.base import AppMetadata, AppResult
-from repro.sim.events import Timeout
 from repro.iolib.fortranio import FortranIO
 from repro.iolib.passion import PassionIO, PrefetchReader
 from repro.machine.machine import Machine, MachineConfig
@@ -155,7 +154,7 @@ def _rank_program(rank: int, comm: Communicator, config: SCF11Config,
         ints = nbytes * ints_per_byte
         t = node.compute_time(ints * config.eval_flops_per_integral)
         node.busy_time += t
-        yield Timeout(env, t)
+        yield t
         t0 = env.now
         if config.version == "original":
             yield from f.write_record(nbytes)
@@ -203,7 +202,7 @@ def _rank_program(rank: int, comm: Communicator, config: SCF11Config,
                 ints = nbytes * ints_per_byte
                 t = node.compute_time(ints * config.fock_flops_per_integral)
                 node.busy_time += t
-                yield Timeout(env, t)
+                yield t
 
     t0 = env.now
     yield from f.close()

@@ -161,37 +161,44 @@ def bench_experiment(exp_id: str, repeats: int = 1) -> float:
     return best
 
 
-#: name -> (runner(quick) -> value, unit, higher_is_better)
-_SUITE: Dict[str, Tuple[Callable[[bool], float], str, bool]] = {
+#: name -> (runner(repeats) -> value, unit, higher_is_better,
+#:          (quick_repeats, full_repeats))
+_SUITE: Dict[str, Tuple[Callable[[int], float], str, bool,
+                        Tuple[int, int]]] = {
     "kernel_steps": (
-        lambda quick: bench_kernel_steps(repeats=1 if quick else 3),
-        "events/s", True),
+        lambda r: bench_kernel_steps(repeats=r), "events/s", True, (1, 3)),
     "extent_map": (
-        lambda quick: bench_extent_map(repeats=1 if quick else 3),
-        "extents/s", True),
+        lambda r: bench_extent_map(repeats=r), "extents/s", True, (1, 3)),
     "extent_map_memo": (
-        lambda quick: bench_extent_map_memo(repeats=1 if quick else 3),
-        "lookups/s", True),
+        lambda r: bench_extent_map_memo(repeats=r), "lookups/s", True,
+        (1, 3)),
     "fig2_quick_serial": (
-        lambda quick: bench_experiment("fig2", repeats=1 if quick else 2),
-        "s", False),
+        lambda r: bench_experiment("fig2", repeats=r), "s", False, (1, 3)),
     "fig6_quick_serial": (
-        lambda quick: bench_experiment("fig6", repeats=1 if quick else 2),
-        "s", False),
+        lambda r: bench_experiment("fig6", repeats=r), "s", False, (1, 3)),
 }
 
 
 def run_suite(quick: bool = False,
-              log: Optional[Callable[[str], None]] = None) -> dict:
-    """Run every tracked benchmark; return the serializable document."""
+              log: Optional[Callable[[str], None]] = None,
+              best_of: Optional[int] = None) -> dict:
+    """Run every tracked benchmark; return the serializable document.
+
+    ``best_of`` overrides each benchmark's repetition count (quick mode
+    defaults to 1, full mode to 3); the recorded value is always the
+    best (min time / max rate) over the repetitions, which is what makes
+    baselines comparable across noisy hosts.
+    """
     if log:
         log("calibrating interpreter speed ...")
-    pyops = calibrate(repeats=1 if quick else 3)
+    pyops = calibrate(repeats=best_of or (1 if quick else 3))
     results = {}
-    for name, (runner, unit, higher) in _SUITE.items():
+    for name, (runner, unit, higher, (quick_reps, full_reps)) in \
+            _SUITE.items():
+        repeats = best_of or (quick_reps if quick else full_reps)
         if log:
-            log(f"running {name} ...")
-        value = runner(quick)
+            log(f"running {name} (best of {repeats}) ...")
+        value = runner(repeats)
         results[name] = {"value": value, "unit": unit,
                          "higher_is_better": higher}
     return {
@@ -275,7 +282,8 @@ def load_baseline(path: str) -> dict:
 def main_bench(args) -> int:  # pragma: no cover - exercised via CLI tests
     """Implementation of ``repro bench`` (parsed args from repro.cli)."""
     doc = run_suite(quick=args.quick,
-                    log=lambda msg: print(msg, file=sys.stderr))
+                    log=lambda msg: print(msg, file=sys.stderr),
+                    best_of=getattr(args, "best_of", None))
     print(format_table(doc))
     if args.output:
         save_baseline(args.output, doc)

@@ -9,6 +9,12 @@ Usage::
     python -m repro cache stats
     python -m repro info
     python -m repro bench --quick --check BENCH_kernel.json
+    python -m repro diff --quick fig2 fig6
+
+``diff`` is the differential kernel oracle: it runs each experiment on
+both the fast and the reference simulation kernel (bypassing the result
+cache) and exits non-zero unless traces and results are identical —
+see :mod:`repro.sim.diff`.
 
 Runs go through :mod:`repro.runner`: experiments decompose into
 independent jobs executed on ``--jobs`` worker processes, and every job
@@ -85,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=None,
                        metavar="FRAC",
                        help="allowed normalized slowdown (default: 0.25)")
+    bench.add_argument("--best-of", type=int, default=None, metavar="N",
+                       dest="best_of",
+                       help="repetitions per benchmark, keeping the best "
+                            "(default: 1 quick / 3 full)")
+
+    diff = sub.add_parser(
+        "diff", help="run experiments on both kernels and compare traces")
+    diff.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                      help="experiment ids (e.g. fig2 fig6) or 'all'")
+    diff.add_argument("--quick", action="store_true",
+                      help="scaled-down configurations")
+    diff.add_argument("--max-report", type=int, default=10, metavar="N",
+                      help="divergent positions to print per experiment "
+                           "(default: 10)")
 
     cache = sub.add_parser("cache", help="inspect or manage the result cache")
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -193,6 +213,32 @@ def _cmd_report(output: str, quick: bool, args) -> int:
     return 0
 
 
+def _cmd_diff(args) -> int:
+    from repro.experiments import EXPERIMENTS
+    from repro.sim.diff import diff_experiment
+
+    targets = (list(EXPERIMENTS) if args.experiments == ["all"]
+               else args.experiments)
+    unknown = [t for t in targets if t not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment {unknown[0]!r}; "
+              f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    diverged = []
+    for exp_id in targets:
+        report = diff_experiment(exp_id, quick=args.quick,
+                                 max_report=args.max_report)
+        print(report.format())
+        if not report.ok:
+            diverged.append(exp_id)
+    if diverged:
+        print(f"kernel divergence in: {', '.join(diverged)}",
+              file=sys.stderr)
+        return 1
+    print(f"{len(targets)} experiment(s) identical on both kernels")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.runner import ResultStore
 
@@ -239,6 +285,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.tolerance is None:
             args.tolerance = DEFAULT_TOLERANCE
         return main_bench(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError("unreachable")

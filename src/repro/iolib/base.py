@@ -13,7 +13,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.pfs.filesystem import ParallelFileSystem
-from repro.sim.events import Timeout
 from repro.trace import IOOp, TraceCollector
 
 __all__ = ["InterfaceCosts", "IOInterface", "InterfaceFile"]
@@ -84,16 +83,24 @@ class InterfaceFile:
         self.rank = rank
         self.position = 0
         self.env = interface.env
+        # A file's rank (and hence CPU) is fixed for its lifetime, and the
+        # per-call software costs are constants of the interface — resolve
+        # them once here instead of on every operation (pread/pwrite run
+        # hundreds of thousands of times per figure point).  The
+        # ``base + syscall`` sums below associate exactly as the running
+        # ``_software_cost`` computation did, so timings stay bit-identical.
+        self._costs = interface.costs
+        self._trace = interface.trace
+        cpu = interface._cpu_of(rank).cpu
+        self._cpu = cpu
+        costs = self._costs
+        self._seek_base = costs.seek_s + cpu.syscall_overhead_s
+        self._read_base = costs.read_call_s + cpu.syscall_overhead_s
+        self._write_base = costs.write_call_s + cpu.syscall_overhead_s
+        self._flush_base = costs.flush_s + cpu.syscall_overhead_s
+        self._copy_rate = cpu.memcpy_rate if costs.buffer_copy else 0.0
 
     # -- internals ----------------------------------------------------------
-    @property
-    def _costs(self) -> InterfaceCosts:
-        return self.interface.costs
-
-    @property
-    def _trace(self) -> TraceCollector:
-        return self.interface.trace
-
     @property
     def name(self) -> str:
         return self.handle.file.name
@@ -112,8 +119,7 @@ class InterfaceFile:
             raise ValueError("cannot seek to a negative offset")
         env = self.env
         start = env._now
-        yield Timeout(env, self._software_cost(
-            self._costs.seek_s, 0, self.rank))
+        yield self._seek_base
         self.position = offset
         self._trace.record(IOOp.SEEK, self.rank, start, self.env.now - start,
                            file=self.name)
@@ -134,8 +140,10 @@ class InterfaceFile:
         """Process generator: positioned read (pointer untouched)."""
         env = self.env
         start = env._now
-        yield Timeout(env, self._software_cost(
-            self._costs.read_call_s, nbytes, self.rank))
+        cost = self._read_base
+        if self._copy_rate and nbytes > 0:
+            cost += nbytes / self._copy_rate
+        yield cost
         result = yield from self.handle.read_at(offset, nbytes)
         self._trace.record(IOOp.READ, self.rank, start, self.env.now - start,
                            nbytes=nbytes, file=self.name)
@@ -145,8 +153,10 @@ class InterfaceFile:
         """Process generator: positioned write (pointer untouched)."""
         env = self.env
         start = env._now
-        yield Timeout(env, self._software_cost(
-            self._costs.write_call_s, nbytes, self.rank))
+        cost = self._write_base
+        if self._copy_rate and nbytes > 0:
+            cost += nbytes / self._copy_rate
+        yield cost
         result = yield from self.handle.write_at(offset, nbytes, data)
         self._trace.record(IOOp.WRITE, self.rank, start, self.env.now - start,
                            nbytes=nbytes, file=self.name)
@@ -155,8 +165,7 @@ class InterfaceFile:
     def flush(self):
         """Process generator: flush library/OS buffers."""
         start = self.env.now
-        yield self.env.timeout(self._software_cost(
-            self._costs.flush_s, 0, self.rank))
+        yield self._flush_base
         self._trace.record(IOOp.FLUSH, self.rank, start, self.env.now - start,
                            file=self.name)
 

@@ -82,7 +82,7 @@ class PrefetchReader:
         start = self.env.now
         for _ in range(self.depth):
             self._issue_one()
-        yield self.env.timeout(0.0)
+        yield 0.0
         self.accounted_io_time += self.env.now - start
 
     def next_chunk(self):
@@ -103,7 +103,7 @@ class PrefetchReader:
         # Delivery copy from the prefetch buffer to the app buffer.
         cpu = self.file.interface._cpu_of(self.file.rank)
         copy = nbytes / cpu.cpu.memcpy_rate
-        yield self.env.timeout(copy)
+        yield copy
         self.accounted_io_time += waited + copy
         self.chunks_delivered += 1
         # Keep the pipeline full.

@@ -50,7 +50,7 @@ def sieved_read(file: InterfaceFile, requests: Sequence[IORequest]):
     # Extraction copy of the useful bytes.
     useful = sum(r.nbytes for r in reqs)
     cpu = file.interface._cpu_of(file.rank)
-    yield file.env.timeout(useful / cpu.cpu.memcpy_rate)
+    yield useful / cpu.cpu.memcpy_rate
     if not file.handle.file.functional:
         return useful
     return [got[r.offset - lo: r.end - lo] for r in reqs]
@@ -84,6 +84,6 @@ def sieved_write(file: InterfaceFile, requests: Sequence[IORequest]):
         data = bytes(buf)
     useful = sum(r.nbytes for r in reqs)
     cpu = file.interface._cpu_of(file.rank)
-    yield file.env.timeout(useful / cpu.cpu.memcpy_rate)
+    yield useful / cpu.cpu.memcpy_rate
     yield from file.pwrite(lo, hi - lo, data)
     return hi - lo

@@ -11,6 +11,12 @@ the mechanism behind the paper's BTIO and AST results.
 Functional mode moves real bytes end-to-end, so tests can verify that a
 collective write followed by independent reads (or vice versa) round-trips
 data exactly.
+
+The communication phases (descriptor allgather, pairwise alltoallv) ride
+on :class:`~repro.mp.comm.Communicator`, whose per-peer transfers run
+under the kernel's lightweight fan-out
+(:func:`repro.sim.fan_out`) rather than a spawned process per peer —
+the dominant per-call overhead of small collectives on the simulator.
 """
 
 from __future__ import annotations

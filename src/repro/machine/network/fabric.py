@@ -10,11 +10,9 @@ all-to-all phases of collective I/O cheap to simulate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict
 
 from repro.sim import Environment, Resource
-from repro.sim.events import Timeout
 from repro.machine.params import NetworkParams
 from repro.machine.network.topology import Topology
 
@@ -23,13 +21,21 @@ __all__ = ["Fabric", "NodeAddress", "FabricStats"]
 NodeAddress = int
 
 
-@dataclass
 class FabricStats:
     """Aggregate fabric counters."""
 
-    messages: int = 0
-    bytes_moved: int = 0
-    total_transfer_time: float = 0.0
+    __slots__ = ("messages", "bytes_moved", "total_transfer_time")
+
+    def __init__(self, messages: int = 0, bytes_moved: int = 0,
+                 total_transfer_time: float = 0.0):
+        self.messages = messages
+        self.bytes_moved = bytes_moved
+        self.total_transfer_time = total_transfer_time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"FabricStats(messages={self.messages}, "
+                f"bytes_moved={self.bytes_moved}, "
+                f"total_transfer_time={self.total_transfer_time})")
 
 
 class Fabric:
@@ -76,7 +82,7 @@ class Fabric:
         env = self.env
         start = env._now
         if src == dst:
-            yield Timeout(env, 0.0)
+            yield 0.0
             return
         p = self.params
         header = self._headers.get((src, dst))
@@ -90,13 +96,13 @@ class Fabric:
         wire = header + nbytes / p.link_bandwidth
         if nic.acquire():
             try:
-                yield Timeout(env, wire)
+                yield wire
             finally:
                 nic.release_slot()
         else:
             with nic.request() as slot:
                 yield slot
-                yield Timeout(env, wire)
+                yield wire
         stats = self.stats
         stats.messages += 1
         stats.bytes_moved += nbytes

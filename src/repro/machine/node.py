@@ -6,7 +6,6 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.sim import Container, Environment, Resource
-from repro.sim.events import Timeout
 from repro.machine.disk import Disk
 from repro.machine.params import CPUParams, IONodeParams
 
@@ -38,7 +37,7 @@ class ComputeNode:
         """Process generator: occupy the CPU for ``flops`` operations."""
         t = self.compute_time(flops)
         self.busy_time += t
-        yield self.env.timeout(t)
+        yield t
 
     def memcpy(self, nbytes: int):
         """Process generator: local buffer copy of ``nbytes``."""
@@ -46,7 +45,7 @@ class ComputeNode:
             raise ValueError("nbytes must be non-negative")
         t = nbytes / self.cpu.memcpy_rate
         self.busy_time += t
-        yield self.env.timeout(t)
+        yield t
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<ComputeNode {self.node_id}>"
@@ -105,17 +104,15 @@ class IONode:
         start = env._now
         if queue.acquire():
             try:
-                t = self.params.request_overhead_s + disk.service_time(
-                    offset, nbytes, write=write)
-                yield Timeout(env, t)
+                yield (self.params.request_overhead_s
+                       + disk.service_time(offset, nbytes, write=write))
             finally:
                 queue.release_slot()
         else:
             with queue.request() as slot:
                 yield slot
-                t = self.params.request_overhead_s + disk.service_time(
-                    offset, nbytes, write=write)
-                yield Timeout(env, t)
+                yield (self.params.request_overhead_s
+                       + disk.service_time(offset, nbytes, write=write))
         stats = self.stats
         stats.requests += 1
         if write:

@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.sim import Environment, Store
+from repro.sim import Environment, Store, fan_out
 from repro.machine.machine import Machine
 from repro.mp.rendezvous import Barrier, Exchanger
 
@@ -78,7 +78,7 @@ class Communicator:
         """
         p = self.machine.fabric.params
         depth = max(1, math.ceil(math.log2(max(2, self.size))))
-        yield self.env.timeout(2 * depth * (p.latency_s + p.msg_overhead_s))
+        yield 2 * depth * (p.latency_s + p.msg_overhead_s)
         yield from self._barrier.wait()
 
     def bcast(self, rank: int, payload: Any = None, nbytes: int = 0,
@@ -123,13 +123,12 @@ class Communicator:
 
     def allgather(self, rank: int, payload: Any, nbytes: int):
         """Process generator: every rank receives every rank's payload."""
-        sends = {}
-        for dst in range(self.size):
-            if dst != rank:
-                sends[dst] = self.env.process(self.machine.fabric.transfer(
-                    self.node_of(rank), self.node_of(dst), nbytes))
-        if sends:
-            yield self.env.all_of(list(sends.values()))
+        transfer = self.machine.fabric.transfer
+        src_node = self.node_of(rank)
+        gens = [transfer(src_node, self.node_of(dst), nbytes)
+                for dst in range(self.size) if dst != rank]
+        if gens:
+            yield fan_out(self.env, gens)
         inbound = yield from self._exchanger.exchange(
             rank, {dst: payload for dst in range(self.size)})
         return [inbound[src] for src in sorted(inbound)]
@@ -144,14 +143,13 @@ class Communicator:
         rank.  Self-messages are free (a local copy the caller accounts
         for if it matters).
         """
-        transfers = []
-        for dst, nbytes in sizes.items():
-            if dst == rank or nbytes == 0:
-                continue
-            transfers.append(self.env.process(self.machine.fabric.transfer(
-                self.node_of(rank), self.node_of(dst), nbytes)))
-        if transfers:
-            yield self.env.all_of(transfers)
+        transfer = self.machine.fabric.transfer
+        src_node = self.node_of(rank)
+        gens = [transfer(src_node, self.node_of(dst), nbytes)
+                for dst, nbytes in sizes.items()
+                if dst != rank and nbytes != 0]
+        if gens:
+            yield fan_out(self.env, gens)
         inbound = yield from self._exchanger.exchange(rank, payloads)
         return inbound
 
@@ -162,7 +160,7 @@ class Communicator:
         """
         p = self.machine.fabric.params
         depth = max(1, math.ceil(math.log2(max(2, self.size))))
-        yield self.env.timeout(depth * (p.latency_s + p.msg_overhead_s))
+        yield depth * (p.latency_s + p.msg_overhead_s)
         inbound = yield from self._exchanger.exchange(rank, {root: value})
         if rank != root:
             return None
@@ -172,7 +170,7 @@ class Communicator:
         """Process generator: reduce-to-all for scalars."""
         p = self.machine.fabric.params
         depth = max(1, math.ceil(math.log2(max(2, self.size))))
-        yield self.env.timeout(2 * depth * (p.latency_s + p.msg_overhead_s))
+        yield 2 * depth * (p.latency_s + p.msg_overhead_s)
         outgoing = {dst: value for dst in range(self.size)}
         inbound = yield from self._exchanger.exchange(rank, outgoing)
         return op(inbound[src] for src in sorted(inbound))

@@ -40,7 +40,7 @@ class Barrier:
             fired.succeed(self._generation)
             # The releasing rank still yields once so every participant
             # resumes at the same simulated instant through the event queue.
-            yield self.env.timeout(0.0)
+            yield 0.0
             return self._generation
         generation = yield self._event
         return generation

@@ -8,6 +8,7 @@ from repro.machine.machine import Machine
 from repro.pfs.file import FileHandle, PFile
 from repro.pfs.server import IOServer
 from repro.pfs.striping import StripeMap
+from repro.sim import fan_out
 
 __all__ = ["ParallelFileSystem", "PFS", "PIOFS"]
 
@@ -149,13 +150,13 @@ class ParallelFileSystem:
             token = self._token(handle.file.file_id)
             if token.acquire():
                 try:
-                    yield self.env.timeout(self.token_service_s)
+                    yield self.token_service_s
                 finally:
                     token.release_slot()
             else:
                 with token.request() as slot:
                     yield slot
-                    yield self.env.timeout(self.token_service_s)
+                    yield self.token_service_s
         extents = handle.file.stripe_map.extents(offset, nbytes)
         if len(extents) == 1:
             # Single extent (the common small-request case): run the
@@ -177,10 +178,11 @@ class ParallelFileSystem:
                 yield from server.read_extent(handle.file, extent)
                 yield from fabric.transfer(io_addr, client, extent.length)
             return
-        procs = [self.env.process(self._extent_op(handle, e, write),
-                                  name=f"ext-{e.io_index}")
-                 for e in extents]
-        yield self.env.all_of(procs)
+        # Multi-extent: run the per-extent ops under the lightweight
+        # fan-out (plain sub-generators; falls back to Process-per-extent
+        # whenever the exact-ordering preconditions don't hold).
+        yield fan_out(self.env,
+                      (self._extent_op(handle, e, write) for e in extents))
 
     def _token(self, file_id: int):
         tok = self._tokens.get(file_id)

@@ -86,7 +86,7 @@ class SharedModeFile:
         """Process generator: atomically claim [ptr, ptr+nbytes)."""
         with self._ptr_token.request() as slot:
             yield slot
-            yield self.env.timeout(self.pointer_cost_s)
+            yield self.pointer_cost_s
             offset = self._shared_ptr
             self._shared_ptr += nbytes
         return offset

@@ -7,7 +7,6 @@ from typing import Dict, List, Tuple, TYPE_CHECKING
 from repro.machine.node import IONode
 from repro.pfs.cache import StripeCache
 from repro.pfs.striping import Extent
-from repro.sim.events import Timeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.pfs.file import PFile
@@ -83,13 +82,13 @@ class IOServer:
             cpu = self._cpu
             if cpu.acquire():
                 try:
-                    yield Timeout(self.env, self._cache_time(extent.length))
+                    yield self._cache_time(extent.length)
                 finally:
                     cpu.release_slot()
             else:
                 with cpu.request() as slot:
                     yield slot
-                    yield Timeout(self.env, self._cache_time(extent.length))
+                    yield self._cache_time(extent.length)
             return
         # Miss: go to disk.  The server fetches whole stripe units (block
         # granularity, like the real PFS/PIOFS block servers), keeping the
@@ -129,17 +128,18 @@ class IOServer:
                                           extent.length, write=True)
         else:
             self.writes_buffered += 1
-            yield self._dirty.put(extent.length)
+            if not self._dirty.try_put(extent.length):
+                yield self._dirty.put(extent.length)
             cpu = self._cpu
             if cpu.acquire():
                 try:
-                    yield Timeout(self.env, self._cache_time(extent.length))
+                    yield self._cache_time(extent.length)
                 finally:
                     cpu.release_slot()
             else:
                 with cpu.request() as slot:
                     yield slot
-                    yield Timeout(self.env, self._cache_time(extent.length))
+                    yield self._cache_time(extent.length)
             self._pending.setdefault(extent.disk_index, []).append(
                 (disk_offset, extent.length))
             if not self._flusher_running.get(extent.disk_index):
@@ -175,13 +175,14 @@ class IOServer:
                 self.flush_runs += 1
                 yield from self.io_node.serve(disk_index, off, length,
                                               write=True)
-            yield self._dirty.get(total)
+            if not self._dirty.try_get(total):
+                yield self._dirty.get(total)
         self._flusher_running[disk_index] = False
 
     def drain(self):
         """Process generator: wait until all dirty data reaches disk."""
         while self._dirty.level > 0:
-            yield self.env.timeout(0.001)
+            yield 0.001
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<IOServer io={self.io_index}>"

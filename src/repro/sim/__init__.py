@@ -17,9 +17,9 @@ Example
 3.5
 """
 
-from repro.sim.core import Environment
+from repro.sim.core import Environment, default_fast, set_default_fast
 from repro.sim.events import Event, Timeout, AnyOf, AllOf, Condition, PENDING
-from repro.sim.process import Process
+from repro.sim.process import Process, FanOut, fan_out
 from repro.sim.resources import (
     Resource,
     PriorityResource,
@@ -36,7 +36,11 @@ from repro.sim.exceptions import (
 
 __all__ = [
     "Environment",
+    "default_fast",
+    "set_default_fast",
     "Event",
+    "FanOut",
+    "fan_out",
     "Timeout",
     "AnyOf",
     "AllOf",

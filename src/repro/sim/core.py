@@ -6,6 +6,38 @@ body of :meth:`Environment.step` with the heap, the pop function and the
 queue bound to locals.  The inlined loops are behaviour-identical to
 calling :meth:`step` repeatedly — :meth:`step` remains the reference
 single-event entry point.
+
+Kernel modes
+------------
+Every :class:`Environment` runs in one of two kernels:
+
+* the **fast kernel** (the default): the inlined run loop plus the
+  round-2 fast paths — heap-top event coalescing inside
+  :meth:`Process._resume <repro.sim.process.Process._resume>`, the
+  lightweight :class:`~repro.sim.process.FanOut` primitive, and the
+  order-preserving synchronous grants of
+  :class:`~repro.sim.resources.Container`;
+* the **reference kernel** (``fast=False``): :meth:`run` drives the
+  simulation one :meth:`step` at a time and every fast path above is
+  disabled, so events take the naive spawn/queue/wake route.
+
+Both kernels must produce *identical* event streams; that is the
+contract :mod:`repro.sim.diff` checks experiment-by-experiment.  The
+module-level default is flipped by :func:`set_default_fast` (used by the
+differential harness) so experiment code — which constructs its own
+environments internally — picks the kernel up without plumbing.
+
+Fast-loop dispatch protocol (relied on by the fast paths):
+
+* ``_solo`` is True exactly while the fast run loop is dispatching an
+  event that has a *single* callback.  Only then may that callback
+  consume further heap-top events inline, because nothing else is
+  pending at the current instant.
+* ``_horizon`` is the clock bound of a ``run(until=<number>)`` call;
+  inline consumers must not pop entries beyond it.
+* ``_until`` is the stop event of a ``run(until=<event>)`` call; inline
+  consumers that process it must stop coalescing so the loop can exit
+  exactly where the reference kernel would.
 """
 
 from __future__ import annotations
@@ -17,10 +49,33 @@ from repro.sim.events import Event, Timeout, AnyOf, AllOf, NORMAL
 from repro.sim.exceptions import EmptySchedule
 from repro.sim.process import Process
 
-__all__ = ["Environment"]
+__all__ = ["Environment", "default_fast", "set_default_fast"]
 
 #: Sort key layout for heap entries: (time, priority, sequence, event)
 _HeapEntry = Tuple[float, int, int, Event]
+
+_INF = float("inf")
+
+#: Kernel picked by environments constructed with ``fast=None``.
+_DEFAULT_FAST = True
+
+
+def default_fast() -> bool:
+    """Kernel new environments default to (True = fast kernel)."""
+    return _DEFAULT_FAST
+
+
+def set_default_fast(fast: bool) -> bool:
+    """Set the default kernel for new environments; returns the old one.
+
+    Used by :mod:`repro.sim.diff` to run whole experiments — which build
+    their machines and environments internally — on the reference
+    kernel.  Prefer the :func:`repro.sim.diff.kernel` context manager.
+    """
+    global _DEFAULT_FAST
+    previous = _DEFAULT_FAST
+    _DEFAULT_FAST = bool(fast)
+    return previous
 
 
 class Environment:
@@ -29,13 +84,24 @@ class Environment:
     Time is a float in **seconds** throughout this project.  All state —
     the clock, the pending-event heap and the active process — lives here;
     one Environment is one independent simulated machine run.
+
+    ``fast`` picks the kernel (see module docstring); ``None`` uses the
+    module default.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 fast: Optional[bool] = None):
         self._now = float(initial_time)
         self._queue: List[_HeapEntry] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self._fast = _DEFAULT_FAST if fast is None else bool(fast)
+        #: True while the fast run loop dispatches a single-callback event.
+        self._solo = False
+        #: Clock bound of the current ``run(until=<number>)`` call.
+        self._horizon = _INF
+        #: Stop event of the current ``run(until=<event>)`` call.
+        self._until: Optional[Event] = None
 
     # -- clock & introspection ---------------------------------------------
     @property
@@ -44,13 +110,18 @@ class Environment:
         return self._now
 
     @property
+    def fast(self) -> bool:
+        """True when this environment runs the fast kernel."""
+        return self._fast
+
+    @property
     def active_process(self) -> Optional[Process]:
         """The process currently executing (None between events)."""
         return self._active_process
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INF
 
     # -- factories -----------------------------------------------------------
     def event(self) -> Event:
@@ -83,10 +154,15 @@ class Environment:
     def step(self) -> None:
         """Process the single next event.
 
+        This is the reference single-event entry point: it never enables
+        the solo-dispatch fast paths, so stepping an environment by hand
+        always takes the naive route regardless of kernel.
+
         Raises :class:`EmptySchedule` when nothing is queued.  If a *failed*
         event was never defused (nobody waited on it), its exception is
         re-raised here so errors cannot vanish silently.
         """
+        self._solo = False
         try:
             self._now, _, _, event = heappop(self._queue)
         except IndexError:
@@ -101,6 +177,32 @@ class Environment:
             exc = event._value
             raise exc
 
+    def _run_reference(self, until: Optional[Any]) -> Any:
+        """Reference run loop: drive the simulation one :meth:`step` at a
+        time.  Behaviour-identical to the fast loops in :meth:`run`, with
+        every fast path disabled — the oracle side of
+        :mod:`repro.sim.diff`."""
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            while until.callbacks is not None:
+                if not self._queue:
+                    raise RuntimeError(
+                        f"simulation ran dry before {until!r} fired") from None
+                self.step()
+            if until._ok:
+                return until._value
+            raise until._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(f"until={horizon} lies in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None
+
     def run(self, until: Optional[Any] = None) -> Any:
         """Run the simulation.
 
@@ -111,33 +213,58 @@ class Environment:
         * an :class:`Event` — run until that event is processed, returning
           its value (or raising its exception).
         """
+        if not self._fast:
+            return self._run_reference(until)
+
         queue = self._queue
         pop = heappop
 
         if until is None:
-            while queue:
-                self._now, _, _, event = pop(queue)
-                callbacks = event.callbacks
-                event.callbacks = None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    raise event._value
+            try:
+                while queue:
+                    self._now, _, _, event = pop(queue)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:
+                        self._solo = True
+                        callbacks[0](event)
+                    else:
+                        self._solo = False
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            finally:
+                self._solo = False
             return None
 
         if isinstance(until, Event):
             stop = until
-            while stop.callbacks is not None:
-                if not queue:
-                    raise RuntimeError(
-                        f"simulation ran dry before {stop!r} fired") from None
-                self._now, _, _, event = pop(queue)
-                callbacks = event.callbacks
-                event.callbacks = None
-                for callback in callbacks:
-                    callback(event)
-                if not event._ok and not event._defused:
-                    raise event._value
+            self._until = stop
+            try:
+                while stop.callbacks is not None:
+                    if not queue:
+                        raise RuntimeError(
+                            f"simulation ran dry before {stop!r} fired") from None
+                    self._now, _, _, event = pop(queue)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1 and event is not stop:
+                        # Dispatching the stop event itself must not be
+                        # solo: its callback could otherwise coalesce
+                        # heap-top events past the stop point, which the
+                        # reference kernel leaves unprocessed.
+                        self._solo = True
+                        callbacks[0](event)
+                    else:
+                        self._solo = False
+                        for callback in callbacks:
+                            callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+            finally:
+                self._until = None
+                self._solo = False
             if stop._ok:
                 return stop._value
             raise stop._value
@@ -145,16 +272,28 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError(f"until={horizon} lies in the past (now={self._now})")
-        while queue and queue[0][0] <= horizon:
-            self._now, _, _, event = pop(queue)
-            callbacks = event.callbacks
-            event.callbacks = None
-            for callback in callbacks:
-                callback(event)
-            if not event._ok and not event._defused:
-                raise event._value
+        self._horizon = horizon
+        try:
+            while queue and queue[0][0] <= horizon:
+                self._now, _, _, event = pop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None
+                if len(callbacks) == 1:
+                    self._solo = True
+                    callbacks[0](event)
+                else:
+                    self._solo = False
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+        finally:
+            self._horizon = _INF
+            self._solo = False
         self._now = horizon
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<Environment now={self._now} pending={len(self._queue)}>"
+        kernel = "fast" if self._fast else "reference"
+        return (f"<Environment now={self._now} pending={len(self._queue)} "
+                f"{kernel}>")

@@ -1,13 +1,35 @@
-"""Generator-based simulated processes."""
+"""Generator-based simulated processes and the lightweight fan-out.
+
+Round-2 fast paths living here (fast kernel only; see
+:mod:`repro.sim.core` for the kernel-mode contract):
+
+* **heap-top coalescing** in :meth:`Process._resume`: when the event a
+  generator just yielded is the next entry on the heap and the current
+  dispatch is *solo*, the resume loop pops and processes it inline
+  instead of suspending and paying a full run-loop iteration.  Chains of
+  zero/short timeouts — the bulk of per-byte software costs — then run
+  in a single resume.
+* :class:`FanOut` / :func:`fan_out`: run N sub-generators to completion
+  under a single composite event without allocating a ``Process`` +
+  ``Initialize`` pair per child.  Used by multi-extent ``_transfer`` and
+  the collective-communication fan-outs.
+
+Both are *order-preserving*: the conditions under which they engage
+guarantee the resulting event sequence is identical to the reference
+kernel's (heap-entry-for-heap-entry, up to a uniform shift of the
+sequence counter where whole entries are elided).  The differential
+oracle in :mod:`repro.sim.diff` checks exactly this.
+"""
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Any, Generator, Optional
 
-from repro.sim.events import Event, PENDING, NORMAL, URGENT
+from repro.sim.events import Event, AllOf, Timeout, PENDING, NORMAL, URGENT
 from repro.sim.exceptions import Interrupt, StopProcess
 
-__all__ = ["Process", "Initialize"]
+__all__ = ["Process", "Initialize", "FanOut", "fan_out"]
 
 
 class Initialize(Event):
@@ -120,8 +142,35 @@ class Process(Event):
                 break
 
             if not isinstance(next_event, Event):
-                exc = RuntimeError(
-                    f"process {self.name!r} yielded a non-event: {next_event!r}")
+                # Sleep protocol: a bare non-negative number means
+                # "advance me that many seconds" (sugar for yielding a
+                # Timeout).  Under a solo dispatch with nothing scheduled
+                # at or before the wake time — the reference kernel's heap
+                # entry for the timeout would be the strict minimum, being
+                # the youngest — and inside the run horizon, advance the
+                # clock right here: no Timeout object, no heap round-trip.
+                # Otherwise materialize the Timeout, which is what the
+                # reference kernel always does.
+                if ((type(next_event) is float or type(next_event) is int)
+                        and next_event >= 0):
+                    wake = env._now + next_event
+                    if env._solo and wake <= env._horizon:
+                        q = env._queue
+                        if not q or q[0][0] > wake:
+                            env._now = wake
+                            event = _INIT
+                            continue
+                    next_event = Timeout(env, next_event)
+                    next_event.callbacks.append(self._resume)
+                    self._target = next_event
+                    break
+                if type(next_event) is float or type(next_event) is int:
+                    exc: BaseException = ValueError(
+                        f"negative delay {next_event}")
+                else:
+                    exc = RuntimeError(
+                        f"process {self.name!r} yielded a non-event: "
+                        f"{next_event!r}")
                 try:
                     generator.throw(exc)
                 except StopIteration as stop:
@@ -137,6 +186,27 @@ class Process(Event):
                 continue
 
             if next_event.callbacks is not None:
+                # Heap-top coalescing (fast kernel): the yielded event is
+                # already triggered, nobody else waits on it, this dispatch
+                # is solo, and its heap entry is the global minimum — so the
+                # reference kernel's very next action would be to pop it and
+                # resume us.  Do that here without suspending.  The horizon
+                # guard keeps run(until=<number>) from consuming entries
+                # beyond its bound; hitting the run(until=<event>) stop
+                # event clears _solo so coalescing (and the loop) stop
+                # exactly where the reference kernel would.
+                if env._solo and not next_event.callbacks:
+                    q = env._queue
+                    if q:
+                        head = q[0]
+                        if head[3] is next_event and head[0] <= env._horizon:
+                            heappop(q)
+                            env._now = head[0]
+                            next_event.callbacks = None
+                            if next_event is env._until:
+                                env._solo = False
+                            event = next_event
+                            continue
                 # Event still pending or triggered-but-unprocessed: wait.
                 next_event.callbacks.append(self._resume)
                 self._target = next_event
@@ -149,3 +219,209 @@ class Process(Event):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "alive" if self.is_alive else "finished"
         return f"<Process {self.name} ({state})>"
+
+
+class _InitSentinel:
+    """A successful no-value event outcome, never scheduled.
+
+    Used (a) as the first ``send`` into fan-out children, matching what a
+    freshly initialized :class:`Process` would receive from its
+    ``Initialize`` event, and (b) as the outcome handed back after an
+    inline sleep (the ``yield <seconds>`` protocol), matching a
+    ``Timeout`` with no value."""
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_INIT = _InitSentinel()
+
+
+class _FanChild:
+    """One sub-generator of a :class:`FanOut`; ``resume`` is the callback
+    registered on whatever event the child is currently waiting on."""
+
+    __slots__ = ("fan", "gen")
+
+    def __init__(self, fan: "FanOut", gen: Generator):
+        self.fan = fan
+        self.gen = gen
+
+    def resume(self, event: Event) -> None:
+        self.fan._advance(self, event, False)
+
+
+class FanOut(Event):
+    """Composite event that drives N sub-generators to completion.
+
+    The order-preserving replacement for
+    ``AllOf(env, [Process(env, g) for g in gens])`` on hot fan-out sites:
+    no ``Process``/``Initialize`` pair per child, no condition bookkeeping.
+    Construct it through :func:`fan_out`, which falls back to the
+    reference shape whenever the preconditions for exact ordering do not
+    hold.
+
+    Ordering argument, relative to the reference shape:
+
+    * *Start*: the reference pushes one URGENT ``Initialize`` per child
+      and the run loop pops them, in creation order, before anything else
+      at the current instant (:func:`fan_out` guarantees no other URGENT
+      entry is pending at now, and the dispatch is solo).  Starting the
+      children inline in creation order is therefore the same order; the
+      elided entries shift all later sequence numbers uniformly, which
+      preserves every relative comparison.  Inline starts must not
+      advance the clock, so they use a restricted advance (no heap-top
+      coalescing) — child *i* finishing its first segment at a later time
+      than child *i+1* starts would otherwise reorder the start sequence.
+    * *Completion*: where the reference pushes the child ``Process``
+      event, a finished child pushes one relay entry at the identical
+      heap position; where ``AllOf._check`` on the last relay would push
+      the condition's trigger, :meth:`_collect` pushes this event's.
+      Entry-for-entry identical.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, env, gens):
+        super().__init__(env)
+        children = [_FanChild(self, gen) for gen in gens]
+        self._pending = len(children)
+        if not children:
+            # Mirror AllOf(env, []) — met immediately.
+            self.succeed(None)
+            return
+        for child in children:
+            self._advance(child, _INIT, True)
+
+    def _advance(self, child: "_FanChild", event, starting: bool) -> None:
+        """Advance one child generator with the outcome of ``event``.
+
+        ``starting`` is True only for the inline starts from
+        ``__init__``, where heap-top coalescing stays off (see class
+        docstring).
+        """
+        env = self.env
+        gen = child.gen
+        send = gen.send
+        while True:
+            try:
+                if event._ok:
+                    next_event = send(event._value)
+                else:
+                    event._defused = True
+                    next_event = gen.throw(event._value)
+            except StopIteration as exc:
+                self._complete(True, exc.value)
+                return
+            except StopProcess as exc:
+                self._complete(True, exc.value)
+                return
+            except BaseException as exc:
+                self._complete(False, exc)
+                return
+
+            if not isinstance(next_event, Event):
+                # Sleep protocol, as in Process._resume — but inline
+                # starts must not advance the clock (see class docstring),
+                # so they always materialize the Timeout.
+                if ((type(next_event) is float or type(next_event) is int)
+                        and next_event >= 0):
+                    if not starting and env._solo:
+                        wake = env._now + next_event
+                        if wake <= env._horizon:
+                            q = env._queue
+                            if not q or q[0][0] > wake:
+                                env._now = wake
+                                event = _INIT
+                                continue
+                    next_event = Timeout(env, next_event)
+                    next_event.callbacks.append(child.resume)
+                    return
+                if type(next_event) is float or type(next_event) is int:
+                    exc: BaseException = ValueError(
+                        f"negative delay {next_event}")
+                else:
+                    exc = RuntimeError(
+                        f"fan-out child yielded a non-event: {next_event!r}")
+                try:
+                    gen.throw(exc)
+                except StopIteration as stop:
+                    self._complete(True, stop.value)
+                except BaseException as err:
+                    self._complete(False, err)
+                return
+
+            if next_event.callbacks is not None:
+                if not starting and env._solo and not next_event.callbacks:
+                    q = env._queue
+                    if q:
+                        head = q[0]
+                        if head[3] is next_event and head[0] <= env._horizon:
+                            heappop(q)
+                            env._now = head[0]
+                            next_event.callbacks = None
+                            if next_event is env._until:
+                                env._solo = False
+                            event = next_event
+                            continue
+                next_event.callbacks.append(child.resume)
+                return
+            event = next_event
+
+    def _complete(self, ok: bool, value: Any) -> None:
+        """A child generator finished: push its relay entry (the stand-in
+        for the reference kernel's child ``Process`` event)."""
+        env = self.env
+        relay = Event.__new__(Event)
+        relay.env = env
+        relay.callbacks = [self._collect]
+        relay._ok = ok
+        relay._value = value
+        relay._defused = False
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, relay))
+
+    def _collect(self, relay: Event) -> None:
+        """Relay processed — mirror ``AllOf._check`` on a child event."""
+        if not relay._ok:
+            if self._value is PENDING:
+                relay._defused = True
+                self.fail(relay._value)
+            # A failure after this event already triggered stays undefused,
+            # like a failed child Process nobody waits on: the run loop
+            # re-raises it.
+            return
+        if self._value is not PENDING:
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(None)
+
+
+def fan_out(env, gens) -> Event:
+    """Wait-all event over sub-generators, for ``yield fan_out(env, gens)``.
+
+    Returns a :class:`FanOut` when the exact-ordering preconditions hold:
+
+    * fast kernel, and the current dispatch is solo (otherwise another
+      callback of the triggering event would, in the reference kernel,
+      run before the children start);
+    * no URGENT entry pending at the current instant (the heap minimum
+      would be it, so one probe suffices) — such an entry is a
+      not-yet-started process or an interrupt that the reference kernel
+      would run before the children's ``Initialize`` entries.
+
+    Otherwise falls back to the reference shape — a spawned
+    :class:`Process` per child under :class:`~repro.sim.events.AllOf` —
+    which is always correct.
+    """
+    gens = list(gens)
+    if env._solo:
+        q = env._queue
+        if not q:
+            return FanOut(env, gens)
+        head = q[0]
+        if head[0] > env._now or head[1] != URGENT:
+            return FanOut(env, gens)
+    return AllOf(env, [Process(env, gen) for gen in gens])

@@ -325,12 +325,58 @@ class Container:
     def get(self, amount: float) -> ContainerGet:
         return ContainerGet(self, amount)
 
+    def try_put(self, amount: float) -> bool:
+        """Synchronously deposit ``amount`` if the order-preserving grant
+        conditions hold, allocating no event at all (the no-event analogue
+        of :meth:`Resource.acquire`).  Returns False — caller must fall
+        back to ``yield container.put(amount)`` — when the put would
+        block, would unblock a waiting getter, or the grant could reorder
+        same-instant events.  Always False on the reference kernel."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        env = self.env
+        if (env._solo and not self._getters
+                and self._level + amount <= self.capacity):
+            q = env._queue
+            if not q or q[0][0] > env._now:
+                self._level += amount
+                return True
+        return False
+
+    def try_get(self, amount: float) -> bool:
+        """Mirror of :meth:`try_put` for withdrawals."""
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        env = self.env
+        if (env._solo and not self._putters and amount <= self._level):
+            q = env._queue
+            if not q or q[0][0] > env._now:
+                self._level -= amount
+                return True
+        return False
+
     def _do_put(self, ev: ContainerPut) -> None:
         if ev.amount > self.capacity:
             ev.fail(SimulationError(
                 f"put of {ev.amount} exceeds capacity {self.capacity}"))
             return
         if self._level + ev.amount <= self.capacity:
+            # Order-preserving synchronous grant (fast kernel): the put
+            # fits, no getter is waiting that it could unblock, the
+            # dispatch is solo and nothing else is pending at the current
+            # instant — so the reference kernel's next pop would be this
+            # very event's (now, NORMAL, next-eid) entry, its FIFO ticket.
+            # Granting it born-processed elides that heap round-trip
+            # without reordering anything (unlike PR 2's unguarded
+            # attempt, which let putters jump same-instant events).
+            env = ev.env
+            if env._solo and not self._getters:
+                q = env._queue
+                if not q or q[0][0] > env._now:
+                    self._level += ev.amount
+                    ev._value = None
+                    ev.callbacks = None
+                    return
             self._level += ev.amount
             ev.succeed()
             self._drain_getters()
@@ -343,6 +389,15 @@ class Container:
                 f"get of {ev.amount} exceeds capacity {self.capacity}"))
             return
         if ev.amount <= self._level:
+            # Mirror of the _do_put synchronous grant; see above.
+            env = ev.env
+            if env._solo and not self._putters:
+                q = env._queue
+                if not q or q[0][0] > env._now:
+                    self._level -= ev.amount
+                    ev._value = None
+                    ev.callbacks = None
+                    return
             self._level -= ev.amount
             ev.succeed()
             self._drain_putters()

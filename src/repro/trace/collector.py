@@ -10,6 +10,14 @@ from repro.trace.events import IOOp, TraceRecord
 
 __all__ = ["TraceCollector", "OpAggregate"]
 
+#: When not None, every :meth:`TraceCollector.record` call — across *all*
+#: collectors in the process — also appends a canonical
+#: ``(op, rank, start, duration, nbytes, file)`` tuple here.  Installed
+#: temporarily by :mod:`repro.sim.diff` to capture the full I/O event
+#: stream of a run for kernel-vs-kernel comparison; ``None`` (the
+#: default) keeps the hot path a single global load + ``is`` test.
+_CAPTURE: Optional[List[tuple]] = None
+
 
 @dataclass
 class OpAggregate:
@@ -54,6 +62,8 @@ class TraceCollector:
         agg.time += duration
         agg.nbytes += nbytes
         self._per_rank_io_time[rank] += duration
+        if _CAPTURE is not None:
+            _CAPTURE.append((op.value, rank, start, duration, nbytes, file))
         if self.keep_records:
             rec = TraceRecord(op, rank, start, duration, nbytes, file)
             self.records.append(rec)

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
 
 from repro.machine import Machine, MachineConfig, paragon_small
 from repro.pfs import PFS
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
 
 @pytest.fixture(autouse=True)
@@ -34,6 +38,51 @@ def small_machine():
 def functional_fs(small_machine):
     """A PFS with real data backing on the small machine."""
     return PFS(small_machine, functional=True)
+
+
+def assert_matches_golden(exp_id: str, quick: bool = True) -> None:
+    """Assert an experiment's rendered text is byte-identical to its
+    recorded golden copy under ``tests/golden/``.
+
+    To regenerate after a *deliberate* modelling change (and say so in
+    the PR)::
+
+        PYTHONPATH=src python - <<'EOF'
+        from repro.experiments.registry import run_experiment
+        for exp in ("fig2", "fig4", "fig5", "fig6"):
+            text = run_experiment(exp, quick=True).to_text()
+            open(f"tests/golden/{exp}_quick.txt", "w").write(text + "\n")
+        EOF
+    """
+    from repro.experiments.registry import run_experiment
+
+    suffix = "quick" if quick else "full"
+    golden = (GOLDEN_DIR / f"{exp_id}_{suffix}.txt").read_text()
+    result = run_experiment(exp_id, quick=quick)
+    assert result.to_text() + "\n" == golden, (
+        f"{exp_id} {suffix} output drifted from the recorded golden — "
+        "kernel fast paths must be output-preserving (see "
+        "tests/conftest.py:assert_matches_golden to regenerate after a "
+        "deliberate modelling change)")
+
+
+@pytest.fixture
+def kernel_diff():
+    """Differential-oracle assertion: run a builder on both kernels.
+
+    Yields a callable ``check(builder, label=...)`` that runs ``builder``
+    once per kernel via :func:`repro.sim.diff.diff_scenario` and fails
+    the test with the full divergence report unless traces and results
+    are identical.  Returns the :class:`~repro.sim.diff.DiffReport`.
+    """
+    from repro.sim.diff import diff_scenario
+
+    def check(builder, label: str = "scenario"):
+        report = diff_scenario(builder, label=label)
+        assert report.ok, "\n" + report.format()
+        return report
+
+    return check
 
 
 def run_proc(machine_or_env, gen, name=None):

@@ -1,36 +1,25 @@
-"""Output parity for the perf-optimized hot path.
+"""Output parity for the perf-optimized hot paths.
 
-The PR-2 fast paths (inlined run loop, Timeout/Request scheduling
-shortcuts, closed-form striping, quiet releases) must be
-output-preserving *by construction*: these tests assert the rendered
-figure text of the two experiments the optimization targets (fig2 and
-fig6, quick mode) stays byte-identical to the golden copies recorded
-from the seed implementation (``tests/golden/``).
+The kernel fast paths (PR 2's inlined run loop and scheduling
+shortcuts; this round's heap-top coalescing, inline sleeps, fan-out and
+guarded Container grants) must be output-preserving *by construction*:
+these tests assert the rendered figure text of the experiments the
+optimizations target stays byte-identical to the golden copies under
+``tests/golden/`` (fig2/fig6 recorded from the seed implementation,
+fig4/fig5 from the PR-3 tree before the round-2 fast paths landed).
 
-If a deliberate modelling change alters the numbers, regenerate the
-goldens and say so in the PR::
-
-    PYTHONPATH=src python - <<'EOF'
-    from repro.experiments.registry import run_experiment
-    for exp in ("fig2", "fig6"):
-        text = run_experiment(exp, quick=True).to_text()
-        open(f"tests/golden/{exp}_quick.txt", "w").write(text + "\n")
-    EOF
+The goldens pin the *numbers*; the event-level contract behind them is
+checked by the differential oracle (``repro diff``,
+tests/test_kernel_diff.py).  See
+:func:`tests.conftest.assert_matches_golden` for how to regenerate
+after a deliberate modelling change.
 """
-
-import pathlib
 
 import pytest
 
-from repro.experiments.registry import run_experiment
-
-GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+from tests.conftest import assert_matches_golden
 
 
-@pytest.mark.parametrize("exp_id", ["fig2", "fig6"])
-def test_quick_figure_stdout_matches_seed(exp_id):
-    golden = (GOLDEN_DIR / f"{exp_id}_quick.txt").read_text()
-    result = run_experiment(exp_id, quick=True)
-    assert result.to_text() + "\n" == golden, (
-        f"{exp_id} quick output drifted from the recorded seed golden — "
-        "the hot-path optimizations must be output-preserving")
+@pytest.mark.parametrize("exp_id", ["fig2", "fig4", "fig5", "fig6"])
+def test_quick_figure_stdout_matches_golden(exp_id):
+    assert_matches_golden(exp_id, quick=True)

@@ -49,12 +49,29 @@ class TestLifecycle:
         assert env.run(env.process(p(env))) == 6
 
     def test_yielding_non_event_raises_inside_process(self, env):
+        # Numbers are valid yields (the sleep protocol) — anything else
+        # non-Event must be rejected.
         def p(env):
             try:
-                yield 42
+                yield "42"
             except RuntimeError as exc:
                 return f"caught: non-event" if "non-event" in str(exc) else "?"
         assert env.run(env.process(p(env))) == "caught: non-event"
+
+    def test_yielding_bare_number_sleeps(self, env):
+        def p(env):
+            yield 2
+            yield 1.5
+            return env.now
+        assert env.run(env.process(p(env))) == 3.5
+
+    def test_yielding_negative_number_raises_inside_process(self, env):
+        def p(env):
+            try:
+                yield -1.0
+            except ValueError:
+                return "caught"
+        assert env.run(env.process(p(env))) == "caught"
 
     def test_process_waits_on_another_process(self, env):
         def child(env):
