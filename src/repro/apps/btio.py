@@ -220,10 +220,12 @@ def _rank_program(rank: int, comm: Communicator, config: BTIOConfig,
 
 
 def run_btio(machine_config: MachineConfig, config: BTIOConfig,
-             n_procs: int) -> AppResult:
+             n_procs: int, fault_plan=None) -> AppResult:
     """Run BTIO on a fresh SP-2-style machine.
 
     ``n_procs`` must be a perfect square (BT requirement).
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan` or its ``to_dict``
+    form) is armed against the fresh machine before the ranks start.
     """
     from repro.pfs import PIOFS
 
@@ -232,6 +234,9 @@ def run_btio(machine_config: MachineConfig, config: BTIOConfig,
         raise ValueError("BTIO requires a square processor count")
     machine = Machine(machine_config)
     fs = PIOFS(machine)
+    if fault_plan is not None:
+        from repro.faults import FaultPlan
+        FaultPlan.coerce(fault_plan).arm(machine, fs)
     trace = TraceCollector(keep_records=config.keep_trace_records)
     if config.version == "unoptimized":
         interface = UnixIO(fs, trace=trace)

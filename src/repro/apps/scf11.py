@@ -246,10 +246,13 @@ def _extrapolate_trace(trace: TraceCollector, factor: float,
 
 
 def run_scf11(machine_config: MachineConfig, config: SCF11Config,
-              n_procs: int, stripe_unit: Optional[int] = None) -> AppResult:
+              n_procs: int, stripe_unit: Optional[int] = None,
+              fault_plan=None) -> AppResult:
     """Run SCF 1.1 on a fresh machine; returns the result record.
 
     ``stripe_unit`` overrides the file system default (the tuple's Su).
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan` or its ``to_dict``
+    form) is armed against the fresh machine before the ranks start.
     """
     from repro.pfs import PFS
 
@@ -257,6 +260,9 @@ def run_scf11(machine_config: MachineConfig, config: SCF11Config,
         raise ValueError(f"unknown SCF 1.1 version {config.version!r}")
     machine = Machine(machine_config)
     fs = PFS(machine, stripe_unit=stripe_unit)
+    if fault_plan is not None:
+        from repro.faults import FaultPlan
+        FaultPlan.coerce(fault_plan).arm(machine, fs)
     trace = TraceCollector(keep_records=config.keep_trace_records)
     if config.version == "original":
         interface = FortranIO(fs, trace=trace)

@@ -44,6 +44,12 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="ignore cached results but store fresh ones")
     parser.add_argument("--timeout", type=float, default=None, metavar="S",
                         help="per-job wall-clock limit (needs --jobs >= 2)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="retry crashed/timed-out/lost jobs up to N "
+                             "times (needs --jobs >= 2; default: 0)")
+    parser.add_argument("--backoff", type=float, default=1.0, metavar="S",
+                        help="base retry backoff in seconds, doubled per "
+                             "attempt with jitter (default: 1.0)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache root (default: .repro-cache or "
                              "$REPRO_CACHE_DIR)")
@@ -137,7 +143,8 @@ def _run_via_runner(targets: List[str], quick: bool, args):
     report = run_experiments(
         targets, quick=quick, jobs=args.jobs,
         use_cache=not args.no_cache, refresh=args.refresh,
-        timeout_s=args.timeout, store=store, progress=progress)
+        timeout_s=args.timeout, store=store, progress=progress,
+        retries=args.retries, backoff_s=args.backoff)
     print(report.summary_text(), file=sys.stderr)
     return report
 

@@ -13,6 +13,7 @@ from repro.experiments.fft_exps import fig5
 from repro.experiments.btio_exps import fig6, fig7
 from repro.experiments.ast_exps import table4
 from repro.experiments.summary_exps import table1, table5
+from repro.experiments.fault_exps import fig_faults
 
 __all__ = ["EXPERIMENTS", "ExperimentSuiteError", "run_experiment",
            "run_all", "experiment_ids"]
@@ -31,6 +32,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig5": fig5,
     "fig6": fig6,
     "fig7": fig7,
+    "fig_faults": fig_faults,
 }
 
 

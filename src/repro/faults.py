@@ -1,0 +1,342 @@
+"""Declarative, seeded fault injection for simulated machine runs.
+
+A :class:`FaultPlan` is a serializable list of fault specs plus a seed.
+Armed against a live :class:`~repro.machine.Machine` and
+:class:`~repro.pfs.filesystem.ParallelFileSystem`, it installs hooks and
+timed triggers that degrade the run mid-flight:
+
+* ``ionode_crash`` — at time *t* one I/O node fail-stops: every file's
+  stripe map remaps the dead node's logical slots onto the survivors
+  (round-robin), its stripe cache is lost, and requests already queued
+  there drain normally (see
+  :meth:`~repro.pfs.filesystem.ParallelFileSystem.fail_io_node`).
+* ``disk_degrade`` — over a ``[start, end)`` window, matching disks
+  multiply every request's service time by ``factor`` (media-retry /
+  recovered-error mode).
+* ``fabric_jitter`` — over a window, every message entering the fabric
+  pays an extra delay drawn deterministically from ``[0, max_jitter_s)``.
+* ``fabric_partition`` — over a window, messages crossing the boundary
+  of ``group`` (a set of global node addresses) stall until the window
+  closes.
+* ``cache_loss`` — at time *t*, matching I/O servers drop their stripe
+  caches.
+
+Determinism contract
+--------------------
+Every injected effect is a pure function of *simulated* state: window
+checks read the simulation clock, timed triggers are ordinary timeout
+processes, and jitter is a hash of a per-fabric message counter that
+advances in event order — never Python iteration order, wall time, or
+shared :mod:`random` state.  Since the fast and reference kernels
+dispatch identical event sequences (the :mod:`repro.sim.diff` contract),
+a fault-injected run is trace-identical across kernels, and the same
+plan + seed reproduces the same results bit for bit.
+
+Cache-key participation
+-----------------------
+``FaultPlan.to_dict()`` is plain JSON data; experiment sweep points
+embed it in their config dicts, so the plan participates in the
+content-addressed result-cache key through
+:func:`repro.runner.keys.job_key` like any other config field (and
+:func:`repro.runner.keys.canonical_json` also accepts a live plan
+object, via its ``to_dict``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "FaultPlan",
+    "FaultPlanError",
+    "ionode_crash",
+    "disk_degrade",
+    "fabric_jitter",
+    "fabric_partition",
+    "cache_loss",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+class FaultPlanError(ValueError):
+    """A fault spec is malformed or cannot be armed on this machine."""
+
+
+# -- spec constructors ------------------------------------------------------
+def ionode_crash(at: float, io_index: int) -> dict:
+    """Fail-stop I/O node ``io_index`` at simulated time ``at``."""
+    return {"kind": "ionode_crash", "at": float(at),
+            "io_index": int(io_index)}
+
+
+def disk_degrade(start: float, end: float, factor: float,
+                 io_index: Optional[int] = None,
+                 disk_index: Optional[int] = None) -> dict:
+    """Multiply disk service times by ``factor`` over ``[start, end)``.
+
+    ``io_index``/``disk_index`` of ``None`` match every I/O node / every
+    disk of the matched nodes.
+    """
+    return {"kind": "disk_degrade", "start": float(start),
+            "end": float(end), "factor": float(factor),
+            "io_index": None if io_index is None else int(io_index),
+            "disk_index": None if disk_index is None else int(disk_index)}
+
+
+def fabric_jitter(start: float, end: float, max_jitter_s: float) -> dict:
+    """Add deterministic per-message jitter in ``[0, max_jitter_s)``."""
+    return {"kind": "fabric_jitter", "start": float(start),
+            "end": float(end), "max_jitter_s": float(max_jitter_s)}
+
+
+def fabric_partition(start: float, end: float,
+                     group: Iterable[int]) -> dict:
+    """Stall messages crossing ``group``'s boundary until ``end``.
+
+    ``group`` holds *global* node addresses (compute nodes are
+    ``0..n_compute-1``, I/O nodes follow; see
+    :class:`~repro.machine.Machine`).
+    """
+    return {"kind": "fabric_partition", "start": float(start),
+            "end": float(end), "group": sorted(int(g) for g in group)}
+
+
+def cache_loss(at: float, io_index: Optional[int] = None) -> dict:
+    """Drop the stripe cache of one server (or all) at time ``at``."""
+    return {"kind": "cache_loss", "at": float(at),
+            "io_index": None if io_index is None else int(io_index)}
+
+
+_REQUIRED_FIELDS = {
+    "ionode_crash": ("at", "io_index"),
+    "disk_degrade": ("start", "end", "factor", "io_index", "disk_index"),
+    "fabric_jitter": ("start", "end", "max_jitter_s"),
+    "fabric_partition": ("start", "end", "group"),
+    "cache_loss": ("at", "io_index"),
+}
+
+
+def _validate_spec(spec: Mapping) -> dict:
+    kind = spec.get("kind")
+    if kind not in _REQUIRED_FIELDS:
+        raise FaultPlanError(
+            f"unknown fault kind {kind!r}; "
+            f"known: {', '.join(sorted(_REQUIRED_FIELDS))}")
+    required = _REQUIRED_FIELDS[kind]
+    missing = [f for f in required if f not in spec]
+    if missing:
+        raise FaultPlanError(f"{kind}: missing field(s) {missing}")
+    extra = set(spec) - set(required) - {"kind"}
+    if extra:
+        raise FaultPlanError(f"{kind}: unknown field(s) {sorted(extra)}")
+    out = {"kind": kind}
+    for f in required:
+        out[f] = spec[f]
+    if "at" in out and not out["at"] >= 0:
+        raise FaultPlanError(f"{kind}: 'at' must be >= 0")
+    if "start" in out:
+        if not out["start"] >= 0 or not out["end"] > out["start"]:
+            raise FaultPlanError(
+                f"{kind}: need 0 <= start < end, got "
+                f"[{out['start']}, {out['end']})")
+    if kind == "disk_degrade" and not out["factor"] > 0:
+        raise FaultPlanError("disk_degrade: factor must be > 0")
+    if kind == "fabric_jitter" and not out["max_jitter_s"] >= 0:
+        raise FaultPlanError("fabric_jitter: max_jitter_s must be >= 0")
+    if kind == "fabric_partition":
+        group = list(out["group"])
+        if not group:
+            raise FaultPlanError("fabric_partition: group must be non-empty")
+        out["group"] = sorted(int(g) for g in group)
+    for f in ("io_index", "disk_index"):
+        if f in out and out[f] is not None and int(out[f]) < 0:
+            raise FaultPlanError(f"{kind}: {f} must be >= 0 or None")
+    return out
+
+
+def _unit_interval(n: int, seed: int) -> float:
+    """Deterministic hash of (n, seed) into [0, 1) — splitmix64-style."""
+    x = (n * 0x9E3779B97F4A7C15 + seed * 0xBF58476D1CE4E5B9 + 0x1B) & _MASK64
+    x ^= x >> 33
+    x = (x * 0xFF51AFD7ED558CCD) & _MASK64
+    x ^= x >> 29
+    return x / float(1 << 64)
+
+
+class _FabricFault:
+    """Jitter/partition state installed as ``Fabric.fault``.
+
+    ``delay`` is called once per message entering the fabric; the
+    message counter advances only inside active jitter windows, in event
+    order, which is what keeps jitter identical across kernels.
+    """
+
+    __slots__ = ("jitters", "partitions", "seed", "messages")
+
+    def __init__(self, jitters: Sequence[Tuple[float, float, float]],
+                 partitions: Sequence[Tuple[float, float, frozenset]],
+                 seed: int):
+        self.jitters = tuple(jitters)
+        self.partitions = tuple(partitions)
+        self.seed = seed
+        self.messages = 0
+
+    def delay(self, src: int, dst: int, now: float) -> float:
+        extra = 0.0
+        for start, end, max_jitter in self.jitters:
+            if start <= now < end and max_jitter > 0.0:
+                self.messages += 1
+                extra += max_jitter * _unit_interval(self.messages,
+                                                     self.seed)
+        for start, end, group in self.partitions:
+            if start <= now < end and ((src in group) != (dst in group)):
+                extra += end - now
+        return extra
+
+
+class FaultPlan:
+    """A seeded, serializable collection of fault specs.
+
+    Build specs with the module-level constructors
+    (:func:`ionode_crash`, :func:`disk_degrade`, ...) or pass raw dicts;
+    every spec is validated on construction.  Plans are immutable value
+    objects: equal plans serialize identically and inject identically.
+    """
+
+    def __init__(self, faults: Sequence[Mapping] = (), seed: int = 0):
+        self.seed = int(seed)
+        self.faults: Tuple[dict, ...] = tuple(
+            _validate_spec(s) for s in faults)
+
+    # -- value semantics / serialization ----------------------------------
+    def to_dict(self) -> dict:
+        return {"seed": self.seed,
+                "faults": [dict(s) for s in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        return cls(data.get("faults", ()), seed=data.get("seed", 0))
+
+    @classmethod
+    def coerce(cls, obj) -> Optional["FaultPlan"]:
+        """None, a plan, or a ``to_dict`` mapping → plan (or None)."""
+        if obj is None or isinstance(obj, cls):
+            return obj
+        if isinstance(obj, Mapping):
+            return cls.from_dict(obj)
+        raise TypeError(f"cannot interpret {type(obj).__name__} as a "
+                        f"FaultPlan")
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = ",".join(s["kind"] for s in self.faults) or "none"
+        return f"<FaultPlan seed={self.seed} faults=[{kinds}]>"
+
+    # -- arming ------------------------------------------------------------
+    def arm(self, machine, fs) -> None:
+        """Install this plan into a live machine + file system.
+
+        Window faults (degradation, jitter, partition) install their
+        state immediately — the hooks are clock-gated, so nothing
+        happens outside the windows.  Point-in-time faults (crash, cache
+        loss) spawn one ordinary timeout process each, in spec order, so
+        same-instant triggers fire in a deterministic order.  Call
+        before (or during) the run; times are absolute simulated
+        seconds.
+        """
+        env = machine.env
+        jitters: List[Tuple[float, float, float]] = []
+        partitions: List[Tuple[float, float, frozenset]] = []
+        for spec in self.faults:
+            kind = spec["kind"]
+            if kind == "ionode_crash":
+                self._check_io_index(machine, spec["io_index"], kind)
+                env.process(
+                    self._trigger(env, spec["at"], fs.fail_io_node,
+                                  spec["io_index"]),
+                    name=f"fault-crash-io{spec['io_index']}")
+            elif kind == "disk_degrade":
+                for disk in self._match_disks(machine, spec):
+                    if disk.degradations is None:
+                        disk.degradations = []
+                        disk.degrade_env = env
+                    disk.degradations.append(
+                        (spec["start"], spec["end"], spec["factor"]))
+            elif kind == "fabric_jitter":
+                jitters.append((spec["start"], spec["end"],
+                                spec["max_jitter_s"]))
+            elif kind == "fabric_partition":
+                n_nodes = machine.n_compute + machine.n_io
+                bad = [g for g in spec["group"] if not 0 <= g < n_nodes]
+                if bad:
+                    raise FaultPlanError(
+                        f"fabric_partition: addresses {bad} out of range "
+                        f"for a {n_nodes}-node machine")
+                partitions.append((spec["start"], spec["end"],
+                                   frozenset(spec["group"])))
+            elif kind == "cache_loss":
+                if spec["io_index"] is not None:
+                    self._check_io_index(machine, spec["io_index"], kind)
+                    servers = [fs.servers[spec["io_index"]]]
+                else:
+                    servers = list(fs.servers)
+
+                def _drop(servers=tuple(servers)):
+                    for server in servers:
+                        server.drop_cache()
+
+                env.process(self._trigger(env, spec["at"], _drop),
+                            name="fault-cache-loss")
+        if jitters or partitions:
+            if machine.fabric.fault is not None:
+                raise FaultPlanError(
+                    "machine fabric already has fault state armed")
+            machine.fabric.fault = _FabricFault(jitters, partitions,
+                                                self.seed)
+
+    @staticmethod
+    def _check_io_index(machine, io_index: int, kind: str) -> None:
+        if not 0 <= io_index < machine.n_io:
+            raise FaultPlanError(
+                f"{kind}: io_index {io_index} out of range for a machine "
+                f"with {machine.n_io} I/O nodes")
+
+    @staticmethod
+    def _match_disks(machine, spec: Mapping):
+        io_index = spec["io_index"]
+        if io_index is not None:
+            FaultPlan._check_io_index(machine, io_index, "disk_degrade")
+            nodes = [machine.io_node(io_index)]
+        else:
+            nodes = list(machine.io_nodes)
+        disks = []
+        for node in nodes:
+            disk_index = spec["disk_index"]
+            if disk_index is None:
+                disks.extend(node.disks)
+            else:
+                if not 0 <= disk_index < node.n_disks:
+                    raise FaultPlanError(
+                        f"disk_degrade: disk_index {disk_index} out of "
+                        f"range on {node!r}")
+                disks.append(node.disks[disk_index])
+        return disks
+
+    @staticmethod
+    def _trigger(env, at: float, action, *args):
+        """Timed-trigger process: fire ``action`` at absolute time ``at``
+        (immediately if ``at`` is already past)."""
+        delay = at - env._now
+        yield env.timeout(delay if delay > 0 else 0.0)
+        action(*args)

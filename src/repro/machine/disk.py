@@ -35,6 +35,15 @@ class Disk:
         self.name = name
         self._head_offset: int | None = None
         self.stats = DiskStats()
+        #: Fault-injection hook (:mod:`repro.faults`): a list of
+        #: ``(start, end, factor)`` windows during which every request's
+        #: service time is multiplied by ``factor`` (a disk in media-retry
+        #: / recovered-error mode).  ``None`` — the normal case — keeps
+        #: the hot path to a single attribute check.
+        self.degradations: list[tuple[float, float, float]] | None = None
+        #: Environment supplying the clock for window checks; set
+        #: alongside ``degradations`` (the Disk itself is clock-free).
+        self.degrade_env = None
 
     def reset_position(self) -> None:
         """Forget head position (e.g. after an idle period)."""
@@ -69,6 +78,12 @@ class Disk:
             t += p.avg_seek_s + p.rotational_latency_s
             self.stats.seeks += 1
         t += nbytes / p.transfer_rate
+        degradations = self.degradations
+        if degradations is not None:
+            now = self.degrade_env._now
+            for start, end, factor in degradations:
+                if start <= now < end:
+                    t *= factor
         self._head_offset = offset + nbytes
         self.stats.requests += 1
         if write:

@@ -51,6 +51,11 @@ class Fabric:
         #: hop counting is paid once per node pair, not once per message.
         self._headers: Dict[tuple, float] = {}
         self.stats = FabricStats()
+        #: Fault-injection hook (:mod:`repro.faults`): an object with a
+        #: ``delay(src, dst, now) -> float`` method adding jitter and/or
+        #: partition stall time to a message.  ``None`` (the normal case)
+        #: keeps the data path to one attribute check per transfer.
+        self.fault = None
 
     def _nic(self, node: NodeAddress) -> Resource:
         nic = self._nics.get(node)
@@ -94,6 +99,12 @@ class Fabric:
         if nic is None:
             nic = self._nic(dst)
         wire = header + nbytes / p.link_bandwidth
+        fault = self.fault
+        if fault is not None:
+            # Evaluated when the message enters the fabric (before NIC
+            # queueing); deterministic in simulated state only, so both
+            # kernels see identical delays (see repro.faults).
+            wire += fault.delay(src, dst, env._now)
         if nic.acquire():
             try:
                 yield wire

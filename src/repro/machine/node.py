@@ -84,6 +84,26 @@ class IONode:
             Resource(env, capacity=1) for _ in self.disks
         ]
         self.stats = IONodeStats()
+        #: Fault-injection state (:mod:`repro.faults`): set by
+        #: :meth:`fail`.  The failure model is fail-stop *at the routing
+        #: layer*: the file system stops sending new extents here (stripe
+        #: maps remap onto survivors) while requests already queued and
+        #: buffered write-behind data are allowed to drain — so a crash
+        #: never turns into a mid-flight exception inside the simulation.
+        self.failed = False
+        self.failed_at: float | None = None
+
+    def fail(self) -> None:
+        """Mark this node crashed (fail-stop for *new* routed work).
+
+        Idempotent.  Enforcement lives in
+        :meth:`repro.pfs.filesystem.ParallelFileSystem.fail_io_node`,
+        which remaps stripe maps away from this node; the node itself
+        keeps serving so in-flight and buffered requests can drain.
+        """
+        if not self.failed:
+            self.failed = True
+            self.failed_at = self.env._now
 
     @property
     def n_disks(self) -> int:

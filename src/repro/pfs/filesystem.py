@@ -57,6 +57,8 @@ class ParallelFileSystem:
         self._files: Dict[str, PFile] = {}
         self._next_id = 0
         self._next_region = 0
+        #: I/O nodes that have crashed (see :meth:`fail_io_node`).
+        self._failed_io: set = set()
         #: Fixed software cost of an open/close at the metadata server.
         self.open_cost_s = 0.03
         self.close_cost_s = 0.02
@@ -83,7 +85,64 @@ class ParallelFileSystem:
                 f.disk_base[(io_index, disk_index)] = (
                     region * _FILE_REGION_BYTES)
         self._files[name] = f
+        if self._failed_io:
+            # Born into a degraded system: route around dead nodes from
+            # the start.
+            self._remap_file(f)
         return f
+
+    # -- fault injection ---------------------------------------------------------
+    def fail_io_node(self, io_index: int) -> None:
+        """Crash one I/O node: fail-stop with request drain.
+
+        New extents stop being routed to the node — every file's stripe
+        map (including files created later) remaps the dead node's
+        logical slots onto the surviving physical nodes, round-robin by
+        failed slot — while requests already queued there and buffered
+        write-behind data drain normally.  The dead server's stripe
+        cache is dropped (its contents are gone with the node).
+        Failed-over stripe units land in a dedicated failover region on
+        the survivor's disk (see
+        :meth:`repro.pfs.striping.StripeMap.set_remap`), so the
+        survivor's head shuttles between its native and failover regions
+        — the intended degraded-mode seek traffic.  Idempotent per node;
+        raises once no survivor would remain.
+        """
+        if not 0 <= io_index < self.machine.n_io:
+            raise IndexError(f"I/O node {io_index} out of range")
+        if io_index in self._failed_io:
+            return
+        if len(self._failed_io) + 1 >= self.machine.n_io:
+            raise RuntimeError(
+                f"cannot fail I/O node {io_index}: no surviving I/O "
+                f"nodes would remain")
+        self._failed_io.add(io_index)
+        self.machine.io_node(io_index).fail()
+        self.servers[io_index].drop_cache()
+        for f in self._files.values():
+            self._remap_file(f)
+
+    def _remap_file(self, f: PFile) -> None:
+        """Point ``f``'s stripe map at the current survivor set."""
+        smap = f.stripe_map
+        survivors = [i for i in range(self.machine.n_io)
+                     if i not in self._failed_io]
+        k = 0
+        mapping = []
+        for slot in range(smap.n_io):
+            if slot in self._failed_io:
+                mapping.append(survivors[k % len(survivors)])
+                k += 1
+            else:
+                mapping.append(slot)
+        smap.set_remap(mapping)
+        # Failed-over slots may now land on nodes outside the file's
+        # original stripe width; give those (node, disk) pairs the same
+        # per-disk region base the file already uses everywhere else.
+        base = next(iter(f.disk_base.values()))
+        for target in mapping:
+            for disk_index in range(smap.disks_per_node):
+                f.disk_base.setdefault((target, disk_index), base)
 
     def lookup(self, name: str) -> PFile:
         try:

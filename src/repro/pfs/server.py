@@ -46,6 +46,15 @@ class IOServer:
         self.writes_buffered = 0
         self.writes_direct = 0
         self.flush_runs = 0
+        self.cache_drops = 0
+
+    def drop_cache(self) -> None:
+        """Fault-injection hook (:mod:`repro.faults`): lose the stripe
+        cache, as after a server restart or memory-pressure purge.
+        Subsequent reads of previously cached units go back to disk;
+        hit/miss counters are preserved (they are cumulative stats)."""
+        self.cache.clear()
+        self.cache_drops += 1
 
     # -- helpers -------------------------------------------------------------
     def _unit_span(self, file: "PFile", extent: Extent):

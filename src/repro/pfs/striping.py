@@ -54,6 +54,13 @@ class Extent:
 #: experiment's working set while bounding memory.
 _MEMO_LIMIT = 4096
 
+#: Disk-offset base of the per-slot failover regions used by remapped
+#: stripe units (see :meth:`StripeMap.set_remap`).  Far beyond any file
+#: region (:data:`repro.pfs.filesystem._FILE_REGION_BYTES` spacing), so
+#: failed-over units never alias a survivor's native units on disk or in
+#: the server cache; each failed logical slot gets its own region.
+_FAILOVER_REGION_BYTES = 1 << 50
+
 
 class StripeMap:
     """Round-robin striping of a file across ``n_io`` nodes.
@@ -83,10 +90,46 @@ class StripeMap:
         self.n_io = n_io
         self.disks_per_node = disks_per_node
         self._memo: dict = {}
+        #: Failover remap (:mod:`repro.faults`): tuple of length ``n_io``
+        #: sending each *logical* I/O slot to the physical I/O node that
+        #: currently serves it.  ``None`` means identity (the normal
+        #: case, zero-cost on the mapping hot path).
+        self._remap: Tuple[int, ...] | None = None
 
     @property
     def n_spindles(self) -> int:
         return self.n_io * self.disks_per_node
+
+    @property
+    def remap(self) -> Tuple[int, ...] | None:
+        return self._remap
+
+    def set_remap(self, mapping) -> None:
+        """Redirect logical I/O slots to surviving physical nodes.
+
+        ``mapping`` is a sequence of ``n_io`` physical I/O indices (or
+        ``None`` to restore identity).  A failed-over stripe unit keeps
+        its disk index and per-slot offset but moves into a dedicated
+        *failover region* on the survivor's disk
+        (:data:`_FAILOVER_REGION_BYTES` per failed slot), as if the
+        survivor hosted the recovered stripes in spare space: no unit
+        ever aliases a native one, and the survivor's head shuttling
+        between its native and failover regions is the intended
+        degraded-mode seek storm.  Clears the request memo, which caches
+        resolved extents.
+        """
+        if mapping is not None:
+            mapping = tuple(mapping)
+            if len(mapping) != self.n_io:
+                raise ValueError(
+                    f"remap must have {self.n_io} entries, "
+                    f"got {len(mapping)}")
+            if any(m < 0 for m in mapping):
+                raise ValueError("remap targets must be non-negative")
+            if mapping == tuple(range(self.n_io)):
+                mapping = None
+        self._remap = mapping
+        self._memo.clear()
 
     def locate(self, offset: int) -> Tuple[int, int, int]:
         """Map a file offset to (io_index, disk_index, disk_offset)."""
@@ -98,7 +141,13 @@ class StripeMap:
         round_ = su // self.n_io
         disk_index = round_ % self.disks_per_node
         local_su = round_ // self.disks_per_node
-        return io_index, disk_index, local_su * self.stripe_unit + within
+        disk_offset = local_su * self.stripe_unit + within
+        if self._remap is not None:
+            phys = self._remap[io_index]
+            if phys != io_index:
+                disk_offset += (io_index + 1) * _FAILOVER_REGION_BYTES
+            io_index = phys
+        return io_index, disk_index, disk_offset
 
     def extents(self, offset: int, nbytes: int) -> List[Extent]:
         """Split a contiguous file range into physical extents.
@@ -125,17 +174,42 @@ class StripeMap:
         unit = self.stripe_unit
         n_io = self.n_io
         disks = self.disks_per_node
+        remap = self._remap
         if n_io == 1 and disks == 1:
             # Single spindle: every unit is adjacent to the previous one, so
             # the whole range coalesces into one extent at disk_offset ==
             # file offset.
-            yield Extent(0, 0, offset, offset, nbytes)
+            if remap is None or remap[0] == 0:
+                yield Extent(0, 0, offset, offset, nbytes)
+            else:
+                yield Extent(remap[0], 0, offset + _FAILOVER_REGION_BYTES,
+                             offset, nbytes)
             return
         # More than one spindle: consecutive stripe units always land on
         # different spindles (nodes rotate fastest, then disks), so nothing
         # coalesces and each touched unit is exactly one extent.
         su, within = divmod(offset, unit)
         pos = offset
+        if remap is not None:
+            # Failover loop: identical arithmetic, plus the slot->survivor
+            # indirection (kept separate so the fault-free path stays
+            # untouched).
+            while pos < end:
+                length = unit - within
+                rem = end - pos
+                if rem < length:
+                    length = rem
+                round_, io_index = divmod(su, n_io)
+                local_su, disk_index = divmod(round_, disks)
+                phys = remap[io_index]
+                disk_offset = local_su * unit + within
+                if phys != io_index:
+                    disk_offset += (io_index + 1) * _FAILOVER_REGION_BYTES
+                yield Extent(phys, disk_index, disk_offset, pos, length)
+                pos += length
+                su += 1
+                within = 0
+            return
         while pos < end:
             length = unit - within
             rem = end - pos

@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Sequence
 
 from repro.experiments import registry
-from repro.experiments import btio_exps, fft_exps, scf11_exps, scf30_exps
+from repro.experiments import (btio_exps, fault_exps, fft_exps, scf11_exps,
+                               scf30_exps)
 from repro.experiments.results import ExperimentResult
 from repro.runner.keys import job_key
 
@@ -58,6 +59,9 @@ SWEEPS: Dict[str, SweepSpec] = {
                       btio_exps.fig6_assemble),
     "fig7": SweepSpec(btio_exps.fig7_points, btio_exps.fig7_run_point,
                       btio_exps.fig7_assemble),
+    "fig_faults": SweepSpec(fault_exps.fig_faults_points,
+                            fault_exps.fig_faults_run_point,
+                            fault_exps.fig_faults_assemble),
 }
 
 

@@ -21,9 +21,22 @@ __all__ = ["canonical_json", "code_fingerprint", "job_key"]
 
 
 def canonical_json(obj: object) -> str:
-    """Deterministic JSON: sorted keys, no whitespace, ASCII only."""
+    """Deterministic JSON: sorted keys, no whitespace, ASCII only.
+
+    Objects exposing ``to_dict()`` (e.g. :class:`repro.faults.FaultPlan`)
+    are serialized through it, so configs may hold live value objects and
+    still produce the same key as their plain-dict form.
+    """
     return json.dumps(obj, sort_keys=True, separators=(",", ":"),
-                      ensure_ascii=True)
+                      ensure_ascii=True, default=_to_dict_fallback)
+
+
+def _to_dict_fallback(obj: object):
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return to_dict()
+    raise TypeError(
+        f"object of type {type(obj).__name__} is not JSON serializable")
 
 
 def code_fingerprint() -> str:

@@ -92,8 +92,39 @@ class RunReport:
             f"{self.jobs_computed + self.jobs_failed} miss(es) "
             f"({self.hit_rate:.0%} hit rate); "
             f"wall {self.wall_s:.1f}s on {self.workers} worker(s)")
+        retried = sum(o.attempts for o in self.outcomes)
+        if retried:
+            lines.append(f"retries: {retried} extra attempt(s) across "
+                         f"{sum(1 for o in self.outcomes if o.attempts)} "
+                         f"job(s)")
+        report = self.failure_report()
+        if report:
+            lines.append(report)
         if self.errors:
             lines.append("failed experiments: " + ", ".join(self.errors))
+        return "\n".join(lines)
+
+    def failure_report(self) -> str:
+        """End-of-run report of every job that did not finish ok.
+
+        One line per failure with the job's final status and the last
+        line of its captured error (the child's own exception text for
+        crashes, via the worker blackbox), so a 200-job sweep's three
+        casualties don't require scrolling back through the log.
+        """
+        bad = [o for o in self.outcomes if not o.ok]
+        if not bad:
+            return ""
+        lines = [f"failures ({len(bad)} job(s)):"]
+        for o in bad:
+            last = ""
+            if o.error:
+                tail = [ln for ln in o.error.strip().splitlines() if ln]
+                if tail:
+                    last = f" — {tail[-1]}"
+            retry_note = f" after {o.attempts} retr(ies)" if o.attempts \
+                else ""
+            lines.append(f"  {o.job.job_id}: {o.status}{retry_note}{last}")
         return "\n".join(lines)
 
     def summary_dict(self) -> dict:
@@ -121,6 +152,8 @@ def run_experiments(exp_ids: Optional[Iterable[str]] = None,
                     timeout_s: Optional[float] = None,
                     store: Optional[ResultStore] = None,
                     progress: Optional[ProgressTracker] = None,
+                    retries: int = 0,
+                    backoff_s: float = 1.0,
                     ) -> RunReport:
     """Run experiments through the cache-aware parallel runner.
 
@@ -128,6 +161,9 @@ def run_experiments(exp_ids: Optional[Iterable[str]] = None,
     - ``use_cache=False``: neither read nor write the result store.
     - ``refresh``: ignore cached entries but store fresh results.
     - ``timeout_s``: per-job wall-clock limit (pool mode only).
+    - ``retries``/``backoff_s``: requeue crashed/timed-out/lost jobs up
+      to ``retries`` times with exponential backoff (pool mode only;
+      see :mod:`repro.runner.executor`).
     """
     t_start = time.perf_counter()
     exp_ids = list(exp_ids) if exp_ids is not None \
@@ -154,7 +190,8 @@ def run_experiments(exp_ids: Optional[Iterable[str]] = None,
             to_run.append(job)
 
     if to_run:
-        executor = PoolExecutor(jobs=jobs, timeout_s=timeout_s)
+        executor = PoolExecutor(jobs=jobs, timeout_s=timeout_s,
+                                retries=retries, backoff_s=backoff_s)
 
         def on_outcome(out: JobOutcome) -> None:
             if out.ok and store is not None:

@@ -6,11 +6,20 @@ job's SHA-256 (:mod:`repro.runner.keys`).  Writes are atomic (temp file
 half-written entry; readers treat any unreadable entry as a miss.  The
 store keeps per-instance hit/miss/store/eviction counters and supports
 LRU eviction by entry mtime (``get`` touches entries).
+
+Every entry carries a SHA-256 checksum of its payload
+(:func:`payload_checksum`).  ``get`` verifies it — an entry that parses
+but is structurally wrong or fails its checksum (bit rot, a truncated
+copy, a half-written file from a pre-atomic-write version) is evicted
+on the spot and reported as a miss, so the job is simply recomputed
+instead of poisoning assembly.  Legacy entries without a checksum field
+are accepted as-is.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import tempfile
@@ -18,13 +27,22 @@ import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["DEFAULT_ROOT", "CacheStats", "ResultStore"]
+from repro.runner.keys import canonical_json
+
+__all__ = ["DEFAULT_ROOT", "CacheStats", "ResultStore",
+           "payload_checksum"]
 
 #: Default cache root, relative to the working directory; override with
 #: the ``REPRO_CACHE_DIR`` environment variable or an explicit root.
 DEFAULT_ROOT = ".repro-cache"
 
 _LAST_RUN = "last_run.json"
+
+
+def payload_checksum(payload: dict) -> str:
+    """SHA-256 of the canonicalized payload JSON (order-insensitive)."""
+    return hashlib.sha256(
+        canonical_json(payload).encode("ascii")).hexdigest()
 
 
 @dataclasses.dataclass
@@ -35,6 +53,9 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    #: Entries that parsed but failed structural or checksum validation
+    #: (each also counts as a miss and is evicted from disk).
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -60,13 +81,25 @@ class ResultStore:
         return self.root / "objects" / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[dict]:
-        """Full cache entry for ``key``, or None (counted as hit/miss)."""
+        """Validated cache entry for ``key``, or None (hit/miss counted).
+
+        An entry that exists but is unparseable, structurally wrong
+        (no ``payload`` dict), or fails its payload checksum is deleted
+        and counted as corrupt + miss — the caller recomputes the job
+        and the next ``put`` replaces the bad file.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="ascii") as fh:
                 entry = json.load(fh)
-        except (OSError, ValueError):
+        except FileNotFoundError:
             self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._evict_corrupt(path)
+            return None
+        if not self._entry_valid(entry):
+            self._evict_corrupt(path)
             return None
         try:
             os.utime(path)  # LRU recency for evict()
@@ -75,9 +108,29 @@ class ResultStore:
         self.stats.hits += 1
         return entry
 
+    @staticmethod
+    def _entry_valid(entry: object) -> bool:
+        if not isinstance(entry, dict) or not isinstance(
+                entry.get("payload"), dict):
+            return False
+        stored = entry.get("sha256")
+        if stored is None:    # legacy pre-checksum entry
+            return True
+        return stored == payload_checksum(entry["payload"])
+
+    def _evict_corrupt(self, path: Path) -> None:
+        self.stats.misses += 1
+        self.stats.corrupt += 1
+        try:
+            path.unlink()
+            self.stats.evictions += 1
+        except OSError:
+            pass
+
     def put(self, key: str, payload: dict, **meta: object) -> Path:
         """Atomically store ``payload`` (plus metadata) under ``key``."""
         entry = {"key": key, "created": time.time(), **meta,
+                 "sha256": payload_checksum(payload),
                  "payload": payload}
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -154,12 +154,15 @@ class Process(Event):
                 if ((type(next_event) is float or type(next_event) is int)
                         and next_event >= 0):
                     wake = env._now + next_event
-                    if env._solo and wake <= env._horizon:
-                        q = env._queue
-                        if not q or q[0][0] > wake:
-                            env._now = wake
-                            event = _INIT
-                            continue
+                    q = env._queue
+                    # Heap check first: it is the test that fails when
+                    # other processes contend, so the contended path
+                    # skips the solo/horizon loads entirely.
+                    if ((not q or q[0][0] > wake)
+                            and env._solo and wake <= env._horizon):
+                        env._now = wake
+                        event = _INIT
+                        continue
                     next_event = Timeout(env, next_event)
                     next_event.callbacks.append(self._resume)
                     self._target = next_event
@@ -194,8 +197,13 @@ class Process(Event):
                 # guard keeps run(until=<number>) from consuming entries
                 # beyond its bound; hitting the run(until=<event>) stop
                 # event clears _solo so coalescing (and the loop) stop
-                # exactly where the reference kernel would.
-                if env._solo and not next_event.callbacks:
+                # exactly where the reference kernel would.  The
+                # _at_head hint (computed at heap-push time) goes first:
+                # one load rules out events that were provably not the
+                # heap minimum when pushed — the common contended case —
+                # and a True hint is still fully re-verified below.
+                if (next_event._at_head and env._solo
+                        and not next_event.callbacks):
                     q = env._queue
                     if q:
                         head = q[0]
@@ -327,14 +335,14 @@ class FanOut(Event):
                 # so they always materialize the Timeout.
                 if ((type(next_event) is float or type(next_event) is int)
                         and next_event >= 0):
-                    if not starting and env._solo:
+                    if not starting:
                         wake = env._now + next_event
-                        if wake <= env._horizon:
-                            q = env._queue
-                            if not q or q[0][0] > wake:
-                                env._now = wake
-                                event = _INIT
-                                continue
+                        q = env._queue
+                        if ((not q or q[0][0] > wake)
+                                and env._solo and wake <= env._horizon):
+                            env._now = wake
+                            event = _INIT
+                            continue
                     next_event = Timeout(env, next_event)
                     next_event.callbacks.append(child.resume)
                     return
@@ -353,7 +361,8 @@ class FanOut(Event):
                 return
 
             if next_event.callbacks is not None:
-                if not starting and env._solo and not next_event.callbacks:
+                if (not starting and next_event._at_head and env._solo
+                        and not next_event.callbacks):
                     q = env._queue
                     if q:
                         head = q[0]

@@ -1,0 +1,291 @@
+"""Tests for the fault-injection layer (:mod:`repro.faults`).
+
+Covers plan validation/serialization, the striping failover remap, the
+file-system crash semantics, seeded determinism, and — via the
+differential oracle — that fault-injected runs stay trace-identical
+across the fast and reference kernels.
+"""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultPlanError
+from repro.machine.machine import Machine
+from repro.machine.presets import paragon_small
+from repro.pfs.filesystem import PFS
+from repro.pfs.striping import _FAILOVER_REGION_BYTES, StripeMap
+from repro.runner.keys import canonical_json, job_key
+
+
+def _scf_builder(fault_plan=None):
+    """Small SCF run (P=2, 2 I/O nodes) returning its exec time."""
+    from repro.apps.scf11 import SCF11Config, SCF11_INPUTS, run_scf11
+
+    config = SCF11Config(n_basis=SCF11_INPUTS["SMALL"], version="passion",
+                         measured_read_iters=1)
+    return run_scf11(paragon_small(n_compute=2, n_io=2), config, 2,
+                     fault_plan=fault_plan)
+
+
+def _combined_plan():
+    """One plan exercising every fault class inside the SCF span."""
+    return FaultPlan(faults=(
+        faults.ionode_crash(at=5.0, io_index=1),
+        faults.disk_degrade(start=0.0, end=1.0e9, factor=2.0),
+        faults.fabric_jitter(start=0.0, end=1.0e9, max_jitter_s=1.0e-4),
+        faults.fabric_partition(start=8.0, end=11.0, group=[0]),
+        faults.cache_loss(at=12.0),
+    ), seed=7)
+
+
+class TestPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultPlan(faults=({"kind": "meteor_strike", "at": 1.0},))
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(FaultPlanError, match="missing field"):
+            FaultPlan(faults=({"kind": "ionode_crash", "at": 1.0},))
+
+    def test_extra_field_rejected(self):
+        spec = faults.cache_loss(at=1.0)
+        spec["surprise"] = True
+        with pytest.raises(FaultPlanError, match="unknown field"):
+            FaultPlan(faults=(spec,))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(FaultPlanError, match="start < end"):
+            faults_spec = faults.disk_degrade(start=5.0, end=5.0, factor=2.0)
+            FaultPlan(faults=(faults_spec,))
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(FaultPlanError, match="factor"):
+            FaultPlan(faults=(
+                faults.disk_degrade(start=0.0, end=1.0, factor=0.0),))
+
+    def test_empty_partition_group_rejected(self):
+        with pytest.raises(FaultPlanError, match="non-empty"):
+            FaultPlan(faults=(
+                faults.fabric_partition(start=0.0, end=1.0, group=[]),))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultPlanError, match=">= 0"):
+            FaultPlan(faults=(faults.cache_loss(at=-1.0),))
+
+
+class TestPlanValueSemantics:
+    def test_round_trip(self):
+        plan = _combined_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_coerce(self):
+        plan = _combined_plan()
+        assert FaultPlan.coerce(None) is None
+        assert FaultPlan.coerce(plan) is plan
+        assert FaultPlan.coerce(plan.to_dict()) == plan
+        with pytest.raises(TypeError):
+            FaultPlan.coerce(42)
+
+    def test_bool_and_len(self):
+        assert not FaultPlan()
+        plan = _combined_plan()
+        assert plan and len(plan) == 5
+
+    def test_canonical_json_accepts_live_plan(self):
+        plan = _combined_plan()
+        assert canonical_json({"plan": plan}) \
+            == canonical_json({"plan": plan.to_dict()})
+
+    def test_plan_participates_in_job_key(self):
+        base = {"p": 4, "plan": None}
+        crash = {"p": 4, "plan": FaultPlan(
+            faults=(faults.ionode_crash(at=1.0, io_index=0),)).to_dict()}
+        assert job_key("fig_faults", "point", base) \
+            != job_key("fig_faults", "point", crash)
+
+
+class TestStripeRemap:
+    def test_identity_collapses_to_none(self):
+        smap = StripeMap(64, 4)
+        smap.set_remap([0, 1, 2, 3])
+        assert smap.remap is None
+
+    def test_wrong_length_rejected(self):
+        smap = StripeMap(64, 4)
+        with pytest.raises(ValueError, match="4 entries"):
+            smap.set_remap([0, 1])
+
+    def test_negative_target_rejected(self):
+        smap = StripeMap(64, 2)
+        with pytest.raises(ValueError, match="non-negative"):
+            smap.set_remap([0, -1])
+
+    def test_remap_reroutes_and_shifts_into_failover_region(self):
+        smap = StripeMap(64, 2)
+        io0, disk0, off0 = smap.locate(64)      # logical slot 1
+        assert io0 == 1 and off0 == 0
+        smap.set_remap([0, 0])                  # slot 1 -> survivor 0
+        io1, disk1, off1 = smap.locate(64)
+        assert io1 == 0 and disk1 == disk0
+        assert off1 == off0 + 2 * _FAILOVER_REGION_BYTES
+
+    def test_unmapped_slots_untouched(self):
+        smap = StripeMap(64, 2)
+        before = smap.locate(0)
+        smap.set_remap([0, 0])
+        assert smap.locate(0) == before
+
+    def test_set_remap_invalidates_memo(self):
+        smap = StripeMap(64, 2)
+        before = smap.extents(0, 256)
+        smap.set_remap([0, 0])
+        after = smap.extents(0, 256)
+        assert before != after
+        assert {e.io_index for e in after} == {0}
+
+    @pytest.mark.parametrize("n_io,disks", [(1, 1), (2, 1), (4, 2)])
+    def test_iter_extents_matches_reference_under_remap(self, n_io, disks):
+        smap = StripeMap(64, n_io, disks)
+        smap.set_remap([0] * n_io)
+        for offset, nbytes in [(0, 1), (0, 64), (13, 200), (64, 640),
+                               (1000, 3000)]:
+            assert list(smap.iter_extents(offset, nbytes)) \
+                == smap.reference_extents(offset, nbytes)
+
+
+class TestFailIONode:
+    @pytest.fixture
+    def fs(self):
+        return PFS(Machine(paragon_small(n_compute=2, n_io=4)))
+
+    def test_existing_and_new_files_remapped(self, fs):
+        before = fs.create("before")
+        fs.fail_io_node(1)
+        after = fs.create("after")
+        for f in (before, after):
+            assert f.stripe_map.remap is not None
+            assert f.stripe_map.remap[1] != 1
+            assert 1 not in {e.io_index
+                             for e in f.stripe_map.extents(0, 1 << 20)}
+
+    def test_idempotent_and_marks_node(self, fs):
+        fs.fail_io_node(2)
+        fs.fail_io_node(2)
+        node = fs.machine.io_node(2)
+        assert node.failed and node.failed_at == fs.env.now
+        assert fs._failed_io == {2}
+
+    def test_cache_dropped_on_crash(self, fs):
+        fs.fail_io_node(0)
+        assert fs.servers[0].cache_drops == 1
+
+    def test_cannot_kill_last_survivor(self, fs):
+        for io_index in range(3):
+            fs.fail_io_node(io_index)
+        with pytest.raises(RuntimeError, match="no surviving"):
+            fs.fail_io_node(3)
+
+    def test_out_of_range_rejected(self, fs):
+        with pytest.raises(IndexError):
+            fs.fail_io_node(99)
+
+
+class TestArmValidation:
+    def test_crash_io_index_out_of_range(self):
+        machine = Machine(paragon_small(n_compute=2, n_io=2))
+        fs = PFS(machine)
+        plan = FaultPlan(faults=(faults.ionode_crash(at=1.0, io_index=9),))
+        with pytest.raises(FaultPlanError, match="out of range"):
+            plan.arm(machine, fs)
+
+    def test_partition_address_out_of_range(self):
+        machine = Machine(paragon_small(n_compute=2, n_io=2))
+        fs = PFS(machine)
+        plan = FaultPlan(faults=(
+            faults.fabric_partition(start=0.0, end=1.0, group=[77]),))
+        with pytest.raises(FaultPlanError, match="out of range"):
+            plan.arm(machine, fs)
+
+    def test_double_fabric_arm_rejected(self):
+        machine = Machine(paragon_small(n_compute=2, n_io=2))
+        fs = PFS(machine)
+        plan = FaultPlan(faults=(
+            faults.fabric_jitter(start=0.0, end=1.0, max_jitter_s=1e-5),))
+        plan.arm(machine, fs)
+        with pytest.raises(FaultPlanError, match="already has fault"):
+            plan.arm(machine, fs)
+
+    def test_arm_installs_hooks(self):
+        machine = Machine(paragon_small(n_compute=2, n_io=2))
+        fs = PFS(machine)
+        _combined_plan().arm(machine, fs)
+        assert machine.fabric.fault is not None
+        assert machine.fabric.fault.seed == 7
+        disk = machine.io_node(0).disks[0]
+        assert disk.degradations == [(0.0, 1.0e9, 2.0)]
+
+
+class TestDeterminism:
+    def test_same_plan_same_result(self):
+        plan = _combined_plan()
+        first = _scf_builder(plan).exec_time
+        second = _scf_builder(plan).exec_time
+        assert first == second
+
+    def test_plan_and_dict_form_identical(self):
+        plan = _combined_plan()
+        assert _scf_builder(plan).exec_time \
+            == _scf_builder(plan.to_dict()).exec_time
+
+    def test_faults_change_the_run(self):
+        assert _scf_builder(_combined_plan()).exec_time \
+            > _scf_builder(None).exec_time
+
+    def test_jitter_seed_matters(self):
+        def jitter_plan(seed):
+            return FaultPlan(faults=(
+                faults.fabric_jitter(start=0.0, end=1.0e9,
+                                     max_jitter_s=1.0e-3),), seed=seed)
+        assert _scf_builder(jitter_plan(1)).exec_time \
+            != _scf_builder(jitter_plan(2)).exec_time
+
+
+class TestKernelParity:
+    def test_fault_injected_run_identical_on_both_kernels(self, kernel_diff):
+        plan_dict = _combined_plan().to_dict()
+        kernel_diff(lambda: _scf_builder(plan_dict).exec_time,
+                    label="scf-all-faults")
+
+    def test_crash_only_run_identical_on_both_kernels(self, kernel_diff):
+        plan_dict = FaultPlan(faults=(
+            faults.ionode_crash(at=5.0, io_index=1),)).to_dict()
+        kernel_diff(lambda: _scf_builder(plan_dict).exec_time,
+                    label="scf-crash")
+
+
+class TestFigFaultsProtocol:
+    def test_points_embed_plan_dicts(self):
+        from repro.experiments.fault_exps import (FAULT_KINDS,
+                                                  fig_faults_points)
+
+        points = fig_faults_points(quick=True)
+        assert {p["fault"] for p in points} == set(FAULT_KINDS)
+        for p in points:
+            if p["fault"] == "none":
+                assert p["plan"] is None
+            else:
+                # JSON-able plan dict that validates on re-parse.
+                assert FaultPlan.from_dict(p["plan"]).faults
+
+    def test_every_point_has_a_distinct_cache_key(self):
+        from repro.experiments.fault_exps import fig_faults_points
+
+        points = fig_faults_points(quick=True)
+        keys = {job_key("fig_faults", "point", p) for p in points}
+        assert len(keys) == len(points)
+
+    def test_quick_and_full_points_differ(self):
+        from repro.experiments.fault_exps import fig_faults_points
+
+        assert fig_faults_points(quick=True) \
+            != fig_faults_points(quick=False)

@@ -109,5 +109,5 @@ class TestLastRunAndStats:
         assert stats.lookups == 4
         assert stats.hit_rate == pytest.approx(0.75)
         assert CacheStats().hit_rate == 0.0
-        assert stats.as_dict() == {"hits": 3, "misses": 1,
-                                   "stores": 0, "evictions": 0}
+        assert stats.as_dict() == {"hits": 3, "misses": 1, "stores": 0,
+                                   "evictions": 0, "corrupt": 0}
