@@ -10,6 +10,13 @@ Usage::
     python -m repro info
     python -m repro bench --quick --check BENCH_kernel.json
     python -m repro diff --quick fig2 fig6
+    python -m repro warm fig2 fig5 --quick --jobs 4
+    python -m repro serve --port 8642 --warm fig5
+
+``serve`` exposes the experiment registry and result cache as an async
+HTTP/JSON service with single-flight coalescing, admission control and
+a ``/metrics`` endpoint (see :mod:`repro.serve` and docs/serving.md);
+``warm`` precomputes named experiments into the cache it serves from.
 
 ``diff`` is the differential kernel oracle: it runs each experiment on
 both the fast and the reference simulation kernel (bypassing the result
@@ -111,6 +118,55 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("--max-report", type=int, default=10, metavar="N",
                       help="divergent positions to print per experiment "
                            "(default: 10)")
+
+    serve = sub.add_parser(
+        "serve", help="serve experiment results over HTTP (async, cached)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port, 0 for ephemeral (default: 8642)")
+    serve.add_argument("-j", "--jobs", type=int, default=2, metavar="N",
+                       help="concurrent simulation jobs (default: 2); "
+                            ">= 2 runs each job in a worker process")
+    serve.add_argument("--queue", type=int, default=64, metavar="N",
+                       help="bounded engine work queue (default: 64)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="concurrently admitted requests (default: 8)")
+    serve.add_argument("--admission-queue", type=int, default=16,
+                       metavar="N",
+                       help="requests allowed to wait for admission "
+                            "before 429 (default: 16)")
+    serve.add_argument("--request-timeout", type=float, default=120.0,
+                       metavar="S",
+                       help="per-request wall-clock limit -> 504 "
+                            "(default: 120)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-job simulation limit (needs --jobs >= 2)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="compute every request, bypass the store")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache root (default: .repro-cache or "
+                            "$REPRO_CACHE_DIR)")
+    serve.add_argument("--warm", action="append", default=[],
+                       metavar="EXP[,EXP...]",
+                       help="warm these experiments (or 'all') through "
+                            "the engine before listening; repeatable")
+    serve.add_argument("--warm-full", action="store_true",
+                       help="warm at full paper scale instead of --quick")
+
+    warm = sub.add_parser(
+        "warm", help="precompute experiments into the serving cache")
+    warm.add_argument("experiments", nargs="+", metavar="EXPERIMENT",
+                      help="experiment ids (e.g. fig2 fig5) or 'all'")
+    warm.add_argument("--quick", action="store_true",
+                      help="scaled-down configurations")
+    warm.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                      help="concurrent warm jobs (default: 1)")
+    warm.add_argument("--timeout", type=float, default=None, metavar="S",
+                      help="per-job wall-clock limit (needs --jobs >= 2)")
+    warm.add_argument("--cache-dir", default=None, metavar="DIR",
+                      help="cache root (default: .repro-cache or "
+                           "$REPRO_CACHE_DIR)")
 
     cache = sub.add_parser("cache", help="inspect or manage the result cache")
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -246,6 +302,65 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.runner import PoolExecutor, ResultStore
+    from repro.serve import (AdmissionController, MetricsRegistry, ServeApp,
+                             ServeEngine, warm)
+
+    metrics = MetricsRegistry()
+    # Dispatcher threads give request-level concurrency; with
+    # --jobs >= 2 the executor runs in pool mode so every dispatched
+    # job gets its own crash-isolated worker process (the simulations
+    # are CPU-bound pure Python, so threads alone would serialize).
+    engine = ServeEngine(
+        store=None if args.no_cache else ResultStore(args.cache_dir),
+        executor=PoolExecutor(jobs=min(2, max(1, args.jobs)),
+                              timeout_s=args.timeout),
+        max_queue=args.queue,
+        dispatchers=max(1, args.jobs),
+        metrics=metrics)
+    admission = AdmissionController(
+        max_inflight=args.max_inflight, max_queue=args.admission_queue,
+        metrics=metrics)
+    app = ServeApp(engine=engine, admission=admission, metrics=metrics,
+                   request_timeout_s=args.request_timeout)
+
+    warm_ids = [t for spec in args.warm for t in spec.split(",") if t]
+    if warm_ids:
+        from repro.experiments import experiment_ids
+        if "all" in warm_ids:
+            warm_ids = experiment_ids()
+        report = warm(warm_ids, quick=not args.warm_full, engine=engine,
+                      stream=sys.stderr)
+        print(report.summary_text(), file=sys.stderr)
+
+    async def serve_forever() -> None:
+        await app.start(args.host, args.port)
+        print(f"repro serve listening on http://{args.host}:{app.port} "
+              f"(jobs={args.jobs}, queue={args.queue}, "
+              f"inflight={args.max_inflight})", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        print("draining ...", file=sys.stderr)
+        await app.shutdown()
+
+    try:
+        asyncio.run(serve_forever())
+    except KeyboardInterrupt:  # pragma: no cover - non-signal platforms
+        pass
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.runner import ResultStore
 
@@ -294,6 +409,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return main_bench(args)
     if args.command == "diff":
         return _cmd_diff(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "warm":
+        from repro.serve.warm import main_warm
+
+        return main_warm(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError("unreachable")

@@ -14,6 +14,14 @@ copy, a half-written file from a pre-atomic-write version) is evicted
 on the spot and reported as a miss, so the job is simply recomputed
 instead of poisoning assembly.  Legacy entries without a checksum field
 are accepted as-is.
+
+The store is safe to share between threads (the serving engine's
+dispatchers all read and write one instance): entries are only ever
+observed whole because writes go through ``os.replace`` and unlinks are
+atomic, and the :class:`CacheStats` counters are updated under a lock
+so concurrent hits/misses are never lost.  ``gc``/``clear`` may run
+while readers are active — a reader that loses the race simply records
+a miss and recomputes.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -76,6 +85,14 @@ class ResultStore:
         self.root = Path(root if root is not None
                          else os.environ.get("REPRO_CACHE_DIR", DEFAULT_ROOT))
         self.stats = CacheStats()
+        self._stats_lock = threading.Lock()
+
+    def _count(self, **deltas: int) -> None:
+        """Apply counter deltas atomically (the store is shared across
+        the serving engine's dispatcher threads)."""
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
 
     def path_for(self, key: str) -> Path:
         return self.root / "objects" / key[:2] / f"{key}.json"
@@ -93,7 +110,7 @@ class ResultStore:
             with open(path, "r", encoding="ascii") as fh:
                 entry = json.load(fh)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self._count(misses=1)
             return None
         except (OSError, ValueError):
             self._evict_corrupt(path)
@@ -105,7 +122,7 @@ class ResultStore:
             os.utime(path)  # LRU recency for evict()
         except OSError:
             pass
-        self.stats.hits += 1
+        self._count(hits=1)
         return entry
 
     @staticmethod
@@ -119,11 +136,10 @@ class ResultStore:
         return stored == payload_checksum(entry["payload"])
 
     def _evict_corrupt(self, path: Path) -> None:
-        self.stats.misses += 1
-        self.stats.corrupt += 1
+        self._count(misses=1, corrupt=1)
         try:
             path.unlink()
-            self.stats.evictions += 1
+            self._count(evictions=1)
         except OSError:
             pass
 
@@ -135,7 +151,7 @@ class ResultStore:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         self._write_atomic(path, entry)
-        self.stats.stores += 1
+        self._count(stores=1)
         return path
 
     @staticmethod
@@ -159,6 +175,10 @@ class ResultStore:
         if not objects.is_dir():
             return
         for path in sorted(objects.glob("*/*.json")):
+            if path.name.startswith("."):
+                # In-progress ``.tmp-*.json`` from a concurrent put();
+                # deleting it here would crash the writer's os.replace.
+                continue
             try:
                 stat = path.stat()
             except OSError:
@@ -180,7 +200,7 @@ class ResultStore:
                 removed += 1
             except OSError:
                 pass
-        self.stats.evictions += removed
+        self._count(evictions=removed)
         return removed
 
     def evict(self, max_bytes: int) -> int:
@@ -197,7 +217,7 @@ class ResultStore:
                 continue
             total -= size
             removed += 1
-        self.stats.evictions += removed
+        self._count(evictions=removed)
         return removed
 
     def write_last_run(self, summary: dict) -> None:

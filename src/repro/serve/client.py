@@ -1,0 +1,103 @@
+"""Minimal stdlib client for the ``repro serve`` HTTP API.
+
+Used by the test-suite, the CI smoke job and the serving benchmark; it
+is also the reference for how to talk to the server from anywhere else
+(everything is plain HTTP + JSON).  Non-2xx responses raise
+:class:`ServeHTTPError` carrying the decoded error body and, for 429s,
+the server's ``Retry-After`` hint.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional
+
+__all__ = ["ServeHTTPError", "ServeClient"]
+
+
+class ServeHTTPError(Exception):
+    """A non-2xx answer from the serving API."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Blocking JSON client bound to one server base URL."""
+
+    def __init__(self, base_url: str, timeout_s: float = 120.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------
+
+    def request(self, method: str, path: str,
+                body: Optional[dict] = None) -> object:
+        """One API call; returns the decoded JSON (or text) body."""
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.base_url + path, data=data,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req,
+                                        timeout=self.timeout_s) as resp:
+                return self._decode(resp)
+        except urllib.error.HTTPError as exc:
+            retry_after: Optional[float] = None
+            raw = exc.headers.get("Retry-After") if exc.headers else None
+            if raw is not None:
+                try:
+                    retry_after = float(raw)
+                except ValueError:
+                    pass
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+                message = detail.get("error", str(detail))
+            except Exception:
+                message = exc.reason
+            raise ServeHTTPError(exc.code, message,
+                                 retry_after) from None
+
+    @staticmethod
+    def _decode(resp) -> object:
+        text = resp.read().decode("utf-8")
+        ctype = resp.headers.get("Content-Type", "")
+        if ctype.startswith("application/json"):
+            return json.loads(text)
+        return text
+
+    # -- API surface ---------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, object]:
+        """The metrics snapshot as JSON."""
+        return self.request("GET", "/metrics?format=json")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition."""
+        return self.request("GET", "/metrics")
+
+    def experiments(self) -> list:
+        return self.request("GET", "/v1/experiments")["experiments"]
+
+    def experiment(self, name: str, scale: str = "quick") -> dict:
+        return self.request(
+            "GET", f"/v1/experiments/{name}?scale={scale}")
+
+    def run_point(self, exp_id: str, config: dict,
+                  kind: Optional[str] = None) -> dict:
+        body: dict = {"exp_id": exp_id, "config": config}
+        if kind is not None:
+            body["kind"] = kind
+        return self.request("POST", "/v1/points", body)

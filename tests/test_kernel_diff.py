@@ -15,10 +15,37 @@ import random
 
 import pytest
 
-from repro.machine import Machine, paragon_small, sp2
+from repro.machine import Machine, paragon_large, paragon_small, sp2
 from repro.mp import Communicator
 from repro.pfs import PFS, PIOFS
 from repro.iolib.base import IOInterface
+
+
+def _draw_shape(rnd):
+    """One randomized machine + file system + stripe unit.
+
+    Beyond the small-Paragon shapes the original sweep used, this draws
+    the other two platforms of the paper — the large Paragon (12/16/64
+    I/O-node partitions) and the SP-2 under PIOFS — and mixes odd,
+    non-power-of-two stripe units in with the natural ones, so striping
+    arithmetic is diffed where requests straddle stripes unevenly.
+    """
+    shape = rnd.choice(["paragon_small", "paragon_large", "sp2"])
+    if shape == "paragon_small":
+        machine = Machine(paragon_small(n_compute=rnd.randint(2, 4),
+                                        n_io=rnd.choice([2, 4])))
+        stripe = rnd.choice([4096, 16384, 65536, 12000])
+        fs = PFS(machine, stripe_unit=stripe)
+    elif shape == "paragon_large":
+        machine = Machine(paragon_large(n_compute=rnd.randint(4, 8),
+                                        n_io=rnd.choice([12, 16, 64])))
+        stripe = rnd.choice([4096, 65536, 131072, 20000])
+        fs = PFS(machine, stripe_unit=stripe)
+    else:
+        machine = Machine(sp2(n_compute=rnd.randint(5, 10)))
+        stripe = rnd.choice([8192, 32768, 50000])
+        fs = PIOFS(machine, stripe_unit=stripe)
+    return machine, fs, stripe
 
 
 def _mixed_workload(seed: int):
@@ -102,6 +129,90 @@ def _mixed_workload(seed: int):
 def test_mixed_workload_trace_identical(kernel_diff, seed):
     report = kernel_diff(_mixed_workload(seed), label=f"mixed-{seed}")
     assert report.fast_events > 0, "scenario recorded no I/O events"
+
+
+def _shaped_workload(seed: int):
+    """Like :func:`_mixed_workload`, but the machine itself is drawn
+    from the full shape space (large Paragon, SP-2/PIOFS, odd stripes)."""
+
+    def build():
+        rnd = random.Random(10_000 + seed)
+        machine, fs, stripe = _draw_shape(rnd)
+        n_compute = machine.config.n_compute
+        iface = IOInterface(fs)
+        comm = Communicator(machine)
+        env = machine.env
+
+        rounds = [rnd.choice(["io", "io", "io", "sleep", "allgather",
+                              "barrier"])
+                  for _ in range(rnd.randint(4, 8))]
+        plans = {}
+        for rank in range(n_compute):
+            ops = []
+            for kind in rounds:
+                if kind == "io":
+                    ops.append((rnd.choice(["read", "write", "seek"]),
+                                rnd.randrange(0, 4 * stripe),
+                                rnd.randrange(1, 3 * stripe)))
+                elif kind == "sleep":
+                    ops.append(("sleep", rnd.uniform(0.0, 0.01), 0))
+                else:
+                    ops.append((kind, rnd.randrange(64, 4096), 0))
+            plans[rank] = ops
+
+        def rank_program(rank):
+            f = yield from iface.open(rank, "shaped.dat", create=True,
+                                      stripe_unit=stripe)
+            moved = 0
+            for op, a, b in plans[rank]:
+                if op == "read":
+                    yield from f.pread(a, b)
+                    moved += b
+                elif op == "write":
+                    yield from f.pwrite(a, b)
+                    moved += b
+                elif op == "seek":
+                    yield from f.seek(a)
+                elif op == "sleep":
+                    yield a
+                elif op == "allgather":
+                    yield from comm.allgather(rank, rank, a)
+                elif op == "barrier":
+                    yield from comm.barrier(rank)
+            yield from f.close()
+            return (rank, moved, env.now)
+
+        procs = [env.process(rank_program(r)) for r in range(n_compute)]
+        env.run(env.all_of(procs))
+        stats = machine.fabric.stats
+        return {
+            "machine": machine.config.name,
+            "stripe": stripe,
+            "now": env.now,
+            "ranks": [p.value for p in procs],
+            "cache_hit_rate": fs.cache_hit_rate(),
+            "bytes_moved": fs.total_bytes_moved(),
+            "fabric": (stats.messages, stats.bytes_moved,
+                       stats.total_transfer_time),
+        }
+
+    return build
+
+
+@pytest.mark.parametrize("seed", range(36))
+def test_shaped_workload_trace_identical(kernel_diff, seed):
+    report = kernel_diff(_shaped_workload(seed), label=f"shaped-{seed}")
+    assert report.fast_events > 0, "scenario recorded no I/O events"
+
+
+def test_shaped_sweep_covers_all_platforms():
+    """The 36 shaped seeds must actually hit every machine family."""
+    names = set()
+    for seed in range(36):
+        rnd = random.Random(10_000 + seed)
+        machine, _, _ = _draw_shape(rnd)
+        names.add(machine.config.name.split("[")[0])
+    assert names == {"paragon-small", "paragon-large", "sp2"}
 
 
 def test_two_phase_collective_diff(kernel_diff):

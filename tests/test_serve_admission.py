@@ -1,0 +1,172 @@
+"""Unit tests for the admission controller (asyncio, no sockets)."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import (AdmissionController, DrainingError,
+                                   RejectedError)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_admits_up_to_max_inflight(self):
+        async def scenario():
+            adm = AdmissionController(max_inflight=2, max_queue=0)
+            await adm.acquire()
+            await adm.acquire()
+            assert adm.inflight == 2
+            with pytest.raises(RejectedError):
+                await adm.acquire()
+            adm.release()
+            adm.release()
+            assert adm.inflight == 0
+
+        run(scenario())
+
+    def test_rejection_carries_retry_after(self):
+        async def scenario():
+            adm = AdmissionController(max_inflight=1, max_queue=0,
+                                      retry_after_s=7.0)
+            await adm.acquire()
+            with pytest.raises(RejectedError) as exc:
+                await adm.acquire()
+            assert exc.value.retry_after_s == 7.0
+            assert adm.metrics.get("serve_rejected_total").value == 1
+
+        run(scenario())
+
+    def test_queue_grants_fifo_on_release(self):
+        async def scenario():
+            adm = AdmissionController(max_inflight=1, max_queue=2)
+            await adm.acquire()
+            order = []
+
+            async def waiter(tag):
+                await adm.acquire()
+                order.append(tag)
+
+            t1 = asyncio.ensure_future(waiter("first"))
+            await asyncio.sleep(0)
+            t2 = asyncio.ensure_future(waiter("second"))
+            await asyncio.sleep(0)
+            assert adm.waiting == 2
+            adm.release()          # slot transfers to t1
+            await asyncio.sleep(0)
+            assert order == ["first"]
+            assert adm.inflight == 1   # transferred, not freed
+            adm.release()
+            await asyncio.sleep(0)
+            assert order == ["first", "second"]
+            adm.release()
+            assert adm.inflight == 0
+            await asyncio.gather(t1, t2)
+
+        run(scenario())
+
+    def test_recovers_after_drain_of_backlog(self):
+        """429 while full; once the backlog drains, admission succeeds."""
+        async def scenario():
+            adm = AdmissionController(max_inflight=1, max_queue=1)
+            await adm.acquire()
+            waiter = asyncio.ensure_future(adm.acquire())
+            await asyncio.sleep(0)
+            with pytest.raises(RejectedError):
+                await adm.acquire()     # inflight + queue both full
+            adm.release()               # drains the queue
+            await waiter
+            adm.release()
+            await adm.acquire()         # free again: no rejection
+            adm.release()
+
+        run(scenario())
+
+    def test_cancelled_waiter_releases_its_queue_slot(self):
+        async def scenario():
+            adm = AdmissionController(max_inflight=1, max_queue=1)
+            await adm.acquire()
+            waiter = asyncio.ensure_future(adm.acquire())
+            await asyncio.sleep(0)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            assert adm.waiting == 0
+            adm.release()               # nobody queued: slot frees
+            assert adm.inflight == 0
+
+        run(scenario())
+
+    def test_context_manager_releases_on_error(self):
+        async def scenario():
+            adm = AdmissionController(max_inflight=1, max_queue=0)
+            with pytest.raises(RuntimeError):
+                async with adm:
+                    assert adm.inflight == 1
+                    raise RuntimeError("handler blew up")
+            assert adm.inflight == 0
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_draining_rejects_new_requests(self):
+        async def scenario():
+            adm = AdmissionController()
+            adm.begin_drain()
+            with pytest.raises(DrainingError):
+                await adm.acquire()
+
+        run(scenario())
+
+    def test_wait_drained_completes_when_work_finishes(self):
+        async def scenario():
+            adm = AdmissionController(max_inflight=2)
+            await adm.acquire()
+            adm.begin_drain()
+
+            async def finish_later():
+                await asyncio.sleep(0.01)
+                adm.release()
+
+            asyncio.ensure_future(finish_later())
+            assert await adm.wait_drained(timeout=5.0)
+            assert adm.inflight == 0
+
+        run(scenario())
+
+    def test_wait_drained_times_out(self):
+        async def scenario():
+            adm = AdmissionController()
+            await adm.acquire()     # never released
+            adm.begin_drain()
+            assert not await adm.wait_drained(timeout=0.05)
+
+        run(scenario())
+
+    def test_wait_drained_immediate_when_idle(self):
+        async def scenario():
+            adm = AdmissionController()
+            adm.begin_drain()
+            assert await adm.wait_drained(timeout=0.01)
+
+        run(scenario())
+
+    def test_gauges_track_inflight_and_queue(self):
+        async def scenario():
+            adm = AdmissionController(max_inflight=1, max_queue=4)
+            await adm.acquire()
+            fut = asyncio.ensure_future(adm.acquire())
+            await asyncio.sleep(0)
+            m = adm.metrics
+            assert m.get("serve_inflight_requests").value == 1
+            assert m.get("serve_admission_queue").value == 1
+            adm.release()
+            await fut
+            adm.release()
+            assert m.get("serve_inflight_requests").value == 0
+            assert m.get("serve_admission_queue").value == 0
+
+        run(scenario())

@@ -1,0 +1,136 @@
+"""Unit tests for the serving metrics registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.metrics import (DEFAULT_BUCKETS, Histogram,
+                                 MetricsRegistry)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounterGauge:
+    def test_counter_counts(self, registry):
+        c = registry.counter("c_total", "help")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("c_total").inc(-1)
+
+    def test_gauge_moves_both_ways(self, registry):
+        g = registry.gauge("g")
+        g.set(5)
+        g.dec(2)
+        g.inc()
+        assert g.value == 4
+
+    def test_same_name_returns_same_family(self, registry):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_conflict_rejected(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_labels_create_independent_children(self, registry):
+        c = registry.counter("req_total")
+        c.labels(route="/a").inc()
+        c.labels(route="/a").inc()
+        c.labels(route="/b").inc()
+        assert c.labels(route="/a").value == 2
+        assert c.labels(route="/b").value == 1
+        assert c.value == 0   # the bare family is untouched
+
+
+class TestHistogram:
+    def test_observe_lands_in_cumulative_buckets(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+
+    def test_boundary_value_counts_in_its_le_bucket(self, registry):
+        h = registry.histogram("b_seconds", buckets=(1.0, 2.0))
+        h.observe(1.0)   # le="1" is cumulative >= exact boundary
+        assert h.snapshot()["buckets"]["1"] == 1
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_labelled_histogram_children_share_buckets(self, registry):
+        h = registry.histogram("r_seconds", buckets=(0.5, 5.0))
+        child = h.labels(route="/x")
+        assert isinstance(child, Histogram)
+        assert child.buckets == (0.5, 5.0)
+
+
+class TestRendering:
+    def test_to_dict_flattens_unlabelled(self, registry):
+        registry.counter("a_total").inc(2)
+        d = registry.to_dict()
+        assert d["a_total"] == 2
+        json.dumps(d)   # must be wire-safe
+
+    def test_to_dict_labelled_series(self, registry):
+        c = registry.counter("req_total")
+        c.labels(route="/a", code="200").inc()
+        d = registry.to_dict()
+        assert d["req_total"] == {'{code="200",route="/a"}': 1}
+
+    def test_prometheus_text_format(self, registry):
+        registry.counter("a_total", "things").inc()
+        g = registry.gauge("depth")
+        g.set(3)
+        h = registry.histogram("lat_seconds", "latency", buckets=(1.0,))
+        h.labels(route="/x").observe(0.5)
+        text = registry.render_prometheus()
+        assert "# HELP a_total things" in text
+        assert "# TYPE a_total counter" in text
+        assert "a_total 1" in text
+        assert "depth 3" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{route="/x",le="1"} 1' in text
+        assert 'lat_seconds_bucket{route="/x",le="+Inf"} 1' in text
+        assert 'lat_seconds_count{route="/x"} 1' in text
+
+    def test_label_values_escaped(self, registry):
+        registry.counter("e_total").labels(msg='a"b\\c').inc()
+        text = registry.render_prometheus()
+        assert r'msg="a\"b\\c"' in text
+
+    def test_json_histogram_snapshot(self, registry):
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.1)
+        d = registry.to_dict()
+        assert d["h_seconds"]["count"] == 1
+        json.dumps(d)
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_are_not_lost(self, registry):
+        c = registry.counter("n_total")
+        h = registry.histogram("n_seconds", buckets=(0.5,))
+        n, per = 8, 2000
+
+        def hammer():
+            for _ in range(per):
+                c.inc()
+                h.observe(0.1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n * per
+        assert h.count == n * per

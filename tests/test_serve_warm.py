@@ -1,0 +1,133 @@
+"""Tests for cache warming (library call and ``repro warm`` CLI)."""
+
+import io
+
+import pytest
+
+from repro import cli
+from repro.experiments import ExperimentResult, registry
+from repro.runner import jobs as jobs_mod
+from repro.runner.jobs import SweepSpec, decompose
+from repro.runner.store import ResultStore
+from repro.serve.engine import ServeEngine
+from repro.serve.warm import WarmReport, warm
+
+
+def _register_toy(monkeypatch, exp_id, run_point=None, n_points=3):
+    def points(quick):
+        return [{"i": i, "quick": bool(quick)} for i in range(n_points)]
+
+    run_point = run_point or (lambda p: {**p, "y": p["i"]})
+
+    def assemble(payloads, quick):
+        res = ExperimentResult(exp_id, "toy", "ref")
+        res.rows = sorted(payloads, key=lambda p: p["i"])
+        return res
+
+    monkeypatch.setitem(registry.EXPERIMENTS, exp_id,
+                        lambda quick=False: assemble(
+                            [run_point(p) for p in points(quick)], quick))
+    monkeypatch.setitem(jobs_mod.SWEEPS, exp_id,
+                        SweepSpec(points, run_point, assemble))
+
+
+class TestWarm:
+    def test_cold_then_warm_pass(self, monkeypatch, tmp_path):
+        calls = []
+        _register_toy(monkeypatch, "zz_w",
+                      run_point=lambda p: (calls.append(1) or {**p}))
+        store = ResultStore(tmp_path / "cache")
+        with ServeEngine(store=store) as engine:
+            first = warm(["zz_w"], quick=True, engine=engine)
+            assert first.per_exp["zz_w"] == {"jobs": 3, "cache": 0,
+                                             "computed": 3, "failed": 0}
+            assert first.ok and first.jobs == 3
+            second = warm(["zz_w"], quick=True, engine=engine)
+            assert second.per_exp["zz_w"] == {"jobs": 3, "cache": 3,
+                                              "computed": 0, "failed": 0}
+        assert len(calls) == 3   # idempotent: nothing recomputed
+
+    def test_scales_warm_independently(self, monkeypatch, tmp_path):
+        _register_toy(monkeypatch, "zz_w")
+        store = ResultStore(tmp_path / "cache")
+        with ServeEngine(store=store) as engine:
+            warm(["zz_w"], quick=True, engine=engine)
+            full = warm(["zz_w"], quick=False, engine=engine)
+            assert full.computed == 3 and full.cached == 0
+
+    def test_unknown_experiment_raises_before_work(self, monkeypatch):
+        calls = []
+        _register_toy(monkeypatch, "zz_w",
+                      run_point=lambda p: (calls.append(1) or {**p}))
+        with pytest.raises(KeyError, match="zz_nope"):
+            warm(["zz_w", "zz_nope"])
+        assert calls == []
+
+    def test_failed_points_counted_and_not_ok(self, monkeypatch, tmp_path):
+        def run_point(point):
+            if point["i"] == 1:
+                raise RuntimeError("boom")
+            return {**point}
+
+        _register_toy(monkeypatch, "zz_wf", run_point=run_point)
+        with ServeEngine(store=ResultStore(tmp_path / "c")) as engine:
+            report = warm(["zz_wf"], engine=engine)
+        assert report.per_exp["zz_wf"]["failed"] == 1
+        assert not report.ok
+        assert "FAILED" in report.summary_text()
+
+    def test_stream_progress_lines(self, monkeypatch, tmp_path):
+        _register_toy(monkeypatch, "zz_w")
+        out = io.StringIO()
+        with ServeEngine(store=ResultStore(tmp_path / "c")) as engine:
+            warm(["zz_w"], engine=engine, stream=out)
+        assert "warm zz_w: 3 job(s)" in out.getvalue()
+
+    def test_private_engine_closed_after_warm(self, monkeypatch):
+        _register_toy(monkeypatch, "zz_w")
+        report = warm(["zz_w"])
+        assert report.ok and report.jobs == 3
+
+    def test_warm_populates_store_for_runner(self, monkeypatch, tmp_path):
+        """Jobs warmed through serve are cache hits for direct lookups."""
+        _register_toy(monkeypatch, "zz_w")
+        store = ResultStore(tmp_path / "cache")
+        with ServeEngine(store=store) as engine:
+            warm(["zz_w"], quick=True, engine=engine)
+        for job in decompose("zz_w", quick=True):
+            entry = ResultStore(tmp_path / "cache").get(job.key)
+            assert entry is not None and entry["payload"]["i"] == job.index
+
+
+class TestWarmCLI:
+    def test_repro_warm_exit_codes(self, monkeypatch, capsys):
+        _register_toy(monkeypatch, "zz_cli")
+        assert cli.main(["warm", "zz_cli", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "3 computed" in out
+        assert cli.main(["warm", "zz_cli", "--quick"]) == 0
+        assert "3 already cached" in capsys.readouterr().out
+
+    def test_repro_warm_unknown_experiment(self, monkeypatch, capsys):
+        assert cli.main(["warm", "zz_missing", "--quick"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_repro_warm_failure_exit_code(self, monkeypatch, capsys):
+        def run_point(point):
+            raise RuntimeError("boom")
+
+        _register_toy(monkeypatch, "zz_bad", run_point=run_point)
+        assert cli.main(["warm", "zz_bad", "--quick"]) == 1
+
+
+class TestWarmReport:
+    def test_totals_aggregate_across_experiments(self):
+        report = WarmReport(quick=True, per_exp={
+            "a": {"jobs": 2, "cache": 1, "computed": 1, "failed": 0},
+            "b": {"jobs": 3, "cache": 0, "computed": 2, "failed": 1},
+        })
+        assert report.jobs == 5
+        assert report.cached == 1
+        assert report.computed == 3
+        assert report.failed == 1
+        assert not report.ok
