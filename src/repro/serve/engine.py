@@ -228,20 +228,36 @@ class ServeEngine:
                 self._executing += 1
                 self._g_queue.set(self._queued)
                 self._g_executing.set(self._executing)
-            outcome = self._execute(job)
-            with self._lock:
-                self._inflight.pop(key, None)
-                self._executing -= 1
-                self._g_executing.set(self._executing)
-                self._idle.notify_all()
-            # A timed-out HTTP request cancels its wrapped future; the
-            # job still completed (and was cached), so just drop the
-            # result instead of letting set_result kill the dispatcher.
-            if not fut.cancelled():
-                try:
-                    fut.set_result(outcome)
-                except InvalidStateError:
-                    pass
+            outcome: Optional[PointOutcome] = None
+            try:
+                outcome = self._execute(job)
+            except Exception:
+                # _execute guards the executor and store, but a bug
+                # anywhere in the per-job path (serialization, metrics)
+                # must not kill the dispatcher: convert to a failed
+                # outcome so every waiter gets an answer.
+                outcome = PointOutcome(job, "failed",
+                                       error=traceback.format_exc())
+                self._m_job_errors.inc()
+            finally:
+                # Always un-publish the key and resolve the shared
+                # future — a leaked _inflight entry would coalesce all
+                # future requests for this key onto a dead future.
+                with self._lock:
+                    self._inflight.pop(key, None)
+                    self._executing -= 1
+                    self._g_executing.set(self._executing)
+                    self._idle.notify_all()
+                if outcome is None:   # BaseException in _execute
+                    outcome = PointOutcome(
+                        job, "crashed",
+                        error="dispatcher died: "
+                              + traceback.format_exc())
+                if not fut.cancelled():
+                    try:
+                        fut.set_result(outcome)
+                    except InvalidStateError:
+                        pass
 
     def _execute(self, job: JobSpec) -> PointOutcome:
         t0 = time.perf_counter()
@@ -260,8 +276,10 @@ class ServeEngine:
                                    job_id=job.job_id, kind=job.kind,
                                    config=dict(job.config),
                                    elapsed_s=out.elapsed_s)
-                except OSError:
-                    pass  # unwritable cache: serve the payload anyway
+                except Exception:
+                    # Unwritable cache, unserializable payload, ...:
+                    # serve the fresh payload anyway.
+                    pass
         else:
             self._m_job_errors.inc()
         return PointOutcome(job, out.status, payload=out.payload,

@@ -106,8 +106,12 @@ class ServeApp:
 
     async def start(self, host: str = "127.0.0.1",
                     port: int = 0) -> asyncio.AbstractServer:
+        # limit= caps readuntil's buffer at the header budget (the
+        # default 64 KiB would LimitOverrun before our own check);
+        # readexactly for bodies is not bound by it.
         self._server = await asyncio.start_server(
-            self._client_connected, host=host, port=port)
+            self._client_connected, host=host, port=port,
+            limit=_MAX_HEADER_BYTES)
         return self._server
 
     @property
@@ -190,7 +194,10 @@ class ServeApp:
     @staticmethod
     async def _read_head(reader: asyncio.StreamReader
                          ) -> Tuple[str, str, Dict[str, str]]:
-        head = await reader.readuntil(b"\r\n\r\n")
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HTTPError(413, "headers too large") from None
         if len(head) > _MAX_HEADER_BYTES:
             raise _HTTPError(413, "headers too large")
         lines = head.decode("latin-1").split("\r\n")
@@ -293,6 +300,18 @@ class ServeApp:
                 return await make_coro()
         return await asyncio.wait_for(gated(), self.request_timeout_s)
 
+    @staticmethod
+    async def _outcome(ticket: Ticket) -> PointOutcome:
+        """Await a ticket without being able to cancel its future.
+
+        The engine future may be shared — by requests that coalesced
+        onto the same key, and by sync callers (``repro warm`` against
+        a live server).  A request timeout cancels this coroutine; the
+        shield makes that *abandon* the future, never cancel it, so
+        the other waiters still get their outcome.
+        """
+        return await asyncio.shield(asyncio.wrap_future(ticket.future))
+
     # -- handlers ------------------------------------------------------
 
     def _healthz(self) -> dict:
@@ -334,7 +353,7 @@ class ServeApp:
         jobs = decompose(name, quick=quick)
         tickets = [self.engine.submit(job) for job in jobs]
         outcomes: List[PointOutcome] = list(await asyncio.gather(
-            *[asyncio.wrap_future(t.future) for t in tickets]))
+            *[self._outcome(t) for t in tickets]))
         bad = [o for o in outcomes if not o.ok]
         if bad:
             raise _HTTPError(500, "; ".join(
@@ -385,7 +404,7 @@ class ServeApp:
         job = JobSpec(job_id=f"{exp_id}#serve", exp_id=exp_id,
                       kind=kind, config=config)
         ticket = self.engine.submit(job)
-        outcome: PointOutcome = await asyncio.wrap_future(ticket.future)
+        outcome: PointOutcome = await self._outcome(ticket)
         if not outcome.ok:
             raise _HTTPError(500, f"job {outcome.status}: "
                                   f"{(outcome.error or '').strip()[-2000:]}")

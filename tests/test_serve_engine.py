@@ -186,6 +186,47 @@ class TestSaturationAndFailure:
             assert out.ok and out.source == "computed"
 
 
+class TestDispatcherRobustness:
+    def test_dispatcher_survives_unexpected_execute_error(self,
+                                                          monkeypatch,
+                                                          store):
+        """A bug anywhere in the per-job path must resolve the future
+        as failed and un-publish the key -- not kill the dispatcher."""
+        _install_sweep(monkeypatch, "zz_rob", lambda p: {**p, "y": 1})
+        with ServeEngine(store=store, dispatchers=1) as engine:
+            real_execute = engine._execute
+            boom = {"on": True}
+
+            def flaky_execute(job):
+                if boom["on"]:
+                    raise TypeError("per-job bookkeeping bug")
+                return real_execute(job)
+
+            monkeypatch.setattr(engine, "_execute", flaky_execute)
+            out = engine.run_job(_job("zz_rob"), timeout=10)
+            assert not out.ok and out.status == "failed"
+            assert "per-job bookkeeping bug" in out.error
+            assert engine.inflight == 0   # no leaked single-flight entry
+            assert engine.metrics.get("serve_job_errors_total").value == 1
+            # Same key, same (sole) dispatcher: both still work.
+            boom["on"] = False
+            out2 = engine.run_job(_job("zz_rob"), timeout=10)
+            assert out2.ok and out2.payload == {"i": 0, "y": 1}
+
+    def test_unserializable_payload_served_not_cached(self, monkeypatch,
+                                                      store):
+        """json can't encode a set: store.put raises TypeError, which
+        must not kill the dispatcher -- the payload is still served."""
+        _install_sweep(monkeypatch, "zz_ser",
+                       lambda p: {**p, "y": {1, 2}})
+        with ServeEngine(store=store, dispatchers=1) as engine:
+            out = engine.run_job(_job("zz_ser"), timeout=10)
+            assert out.ok and out.payload == {"i": 0, "y": {1, 2}}
+            assert store.get(_job("zz_ser").key) is None   # not cached
+            out2 = engine.run_job(_job("zz_ser"), timeout=10)
+            assert out2.ok                 # dispatcher still alive
+
+
 class TestLifecycle:
     def test_submit_after_close_raises(self, monkeypatch, store):
         _install_sweep(monkeypatch, "zz_cl", lambda p: {**p})

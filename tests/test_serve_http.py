@@ -16,7 +16,9 @@ The two seeded contract tests required by the serving design:
   ``Retry-After`` and recovers after the backlog drains.
 """
 
+import asyncio
 import json
+import socket
 import threading
 import time
 
@@ -24,7 +26,7 @@ import pytest
 
 from repro.experiments import ExperimentResult, registry
 from repro.runner import jobs as jobs_mod
-from repro.runner.jobs import SweepSpec
+from repro.runner.jobs import KIND_POINT, JobSpec, SweepSpec
 from repro.serve import (AdmissionController, MetricsRegistry, ServeApp,
                          ServeClient, ServeEngine, ServeHTTPError,
                          ServerThread)
@@ -104,6 +106,32 @@ class TestOpsEndpoints:
         with pytest.raises(ServeHTTPError) as exc:
             client.request("POST", "/healthz", {})
         assert exc.value.status == 405
+
+    def test_oversized_request_head_413(self, server):
+        """A request head over the 32 KiB budget gets an explicit 413,
+        not a silently dropped connection.  80 KiB also exceeds the
+        *default* 64 KiB StreamReader limit, which used to raise
+        LimitOverrunError before the 413 check could run."""
+        srv, _ = server
+        with socket.create_connection(("127.0.0.1", srv.port),
+                                      timeout=10) as sock:
+            try:
+                sock.sendall(b"GET /healthz HTTP/1.1\r\nX-Pad: "
+                             + b"a" * (80 * 1024) + b"\r\n\r\n")
+            except ConnectionError:
+                pass   # server may already have answered and closed
+            chunks = []
+            try:
+                while True:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            except ConnectionError:
+                pass
+        response = b"".join(chunks)
+        assert response.startswith(b"HTTP/1.1 413")
+        assert b"headers too large" in response
 
 
 class TestExperimentRoutes:
@@ -379,6 +407,68 @@ class TestAdmissionOverHTTP:
             assert exc.value.status == 504
             assert client.metrics()["serve_timeouts_total"] == 1
             gate.set()   # let the orphaned job finish before teardown
+
+    def test_timeout_does_not_poison_inflight_job(self, monkeypatch):
+        """A 504 must abandon the shared engine future, not cancel it:
+        waiters that coalesced onto the same job still complete."""
+        gate = threading.Event()
+        calls = []
+
+        def run_point(point):
+            calls.append(dict(point))
+            assert gate.wait(15)
+            return {**point, "y": 7.0}
+
+        _register_toy(monkeypatch, "zz_shield", run_point=run_point)
+        app = ServeApp(request_timeout_s=0.3)
+        with ServerThread(app) as srv:
+            client = ServeClient(srv.base_url, timeout_s=30.0)
+            with pytest.raises(ServeHTTPError) as exc:
+                client.run_point("zz_shield", {"i": 0})
+            assert exc.value.status == 504
+            # A sync caller sharing the engine (`repro warm` against a
+            # live server) coalesces onto the still-running job and
+            # must get the result, not a CancelledError.
+            job = JobSpec(job_id="zz_shield#warm", exp_id="zz_shield",
+                          kind=KIND_POINT, config={"i": 0})
+            ticket = app.engine.submit(job)
+            assert ticket.coalesced
+            gate.set()
+            out = ticket.result(15)
+            assert out.ok and out.payload == {"i": 0, "y": 7.0}
+            assert len(calls) == 1
+            # The abandoned job's result was cached as usual.
+            again = client.run_point("zz_shield", {"i": 0})
+            assert again["source"] == "cache"
+
+    def test_experiment_timeout_leaves_point_futures_alive(self,
+                                                           monkeypatch):
+        """Cancelling the gather in _get_experiment must not cancel the
+        per-point engine futures it awaits (they are shared)."""
+        gate = threading.Event()
+
+        def run_point(point):
+            assert gate.wait(15)
+            return {**point, "y": 0.0}
+
+        _register_toy(monkeypatch, "zz_gsh", run_point=run_point)
+        app = ServeApp(request_timeout_s=0.3)
+        try:
+            async def scenario():
+                with pytest.raises(asyncio.TimeoutError):
+                    await app._admitted(
+                        lambda: app._get_experiment("zz_gsh", {}))
+                futures = list(app.engine._inflight.values())
+                assert len(futures) == N_POINTS
+                assert not any(f.cancelled() for f in futures)
+                gate.set()
+                outs = [await asyncio.wrap_future(f) for f in futures]
+                assert all(o.ok for o in outs)
+
+            asyncio.run(scenario())
+        finally:
+            gate.set()
+            app.engine.close()
 
     def test_draining_server_returns_503(self, server):
         srv, client = server
